@@ -1,0 +1,183 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§4). Each benchmark runs the corresponding harness experiment and prints
+// the same rows/series the paper reports. Run them with:
+//
+//	go test -bench=. -benchmem
+//
+// Absolute numbers are simulated (the substrate is internal/platform, not
+// the authors' Haswell testbed); the shapes — who wins, by what factor,
+// where crossovers fall — are the reproduction target. The shared
+// environment memoizes autotuning results across benchmarks, as the paper's
+// autotuner reuses its exploration results across objectives.
+package repro_test
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+var (
+	envOnce sync.Once
+	env     *harness.Env
+)
+
+// fullEnv returns the shared full-scale environment. Set STATS_QUICK=1 to
+// scale budgets down (smoke runs).
+func fullEnv() *harness.Env {
+	envOnce.Do(func() {
+		env = harness.NewEnv(os.Getenv("STATS_QUICK") == "1")
+	})
+	return env
+}
+
+func BenchmarkFig02OutputVariability(b *testing.B) {
+	e := fullEnv()
+	for i := 0; i < b.N; i++ {
+		harness.Fig02Table(e).Render(os.Stdout)
+	}
+}
+
+func BenchmarkFig03OriginalSpeedup(b *testing.B) {
+	e := fullEnv()
+	for i := 0; i < b.N; i++ {
+		harness.Fig03Table(e).Render(os.Stdout)
+	}
+}
+
+func BenchmarkTable1DeveloperEffort(b *testing.B) {
+	e := fullEnv()
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Table1Table(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t.Render(os.Stdout)
+	}
+}
+
+func BenchmarkFig12Scalability(b *testing.B) {
+	e := fullEnv()
+	for i := 0; i < b.N; i++ {
+		for _, t := range harness.Fig12Table(e) {
+			t.Render(os.Stdout)
+		}
+	}
+}
+
+func BenchmarkFig13GeomeanScalability(b *testing.B) {
+	e := fullEnv()
+	for i := 0; i < b.N; i++ {
+		harness.Fig13Table(e).Render(os.Stdout)
+	}
+}
+
+func BenchmarkFig14HyperThreading(b *testing.B) {
+	e := fullEnv()
+	for i := 0; i < b.N; i++ {
+		harness.Fig14Table(e).Render(os.Stdout)
+	}
+}
+
+func BenchmarkFig15Energy(b *testing.B) {
+	e := fullEnv()
+	for i := 0; i < b.N; i++ {
+		harness.Fig15Table(e).Render(os.Stdout)
+	}
+}
+
+func BenchmarkFig16QualityImprovement(b *testing.B) {
+	e := fullEnv()
+	for i := 0; i < b.N; i++ {
+		harness.Fig16Table(e).Render(os.Stdout)
+	}
+}
+
+func BenchmarkFig17RelatedWork(b *testing.B) {
+	e := fullEnv()
+	for i := 0; i < b.N; i++ {
+		harness.Fig17Table(e).Render(os.Stdout)
+	}
+}
+
+func BenchmarkFig18TradeoffPayoff(b *testing.B) {
+	e := fullEnv()
+	for i := 0; i < b.N; i++ {
+		harness.Fig18Table(e).Render(os.Stdout)
+	}
+}
+
+func BenchmarkFig19BadTraining(b *testing.B) {
+	e := fullEnv()
+	for i := 0; i < b.N; i++ {
+		harness.Fig19Table(e).Render(os.Stdout)
+	}
+}
+
+func BenchmarkFig20AutotunerConvergence(b *testing.B) {
+	e := fullEnv()
+	for i := 0; i < b.N; i++ {
+		harness.Fig20Table(e).Render(os.Stdout)
+	}
+}
+
+// Ablation benches quantify the §3.1 design choices DESIGN.md calls out:
+// group cardinality, auxiliary window, redo budget, rollback width, and the
+// real engine's speculation behaviour across windows.
+
+func BenchmarkAblationGroupSize(b *testing.B) {
+	e := fullEnv()
+	for i := 0; i < b.N; i++ {
+		for _, w := range e.Targets() {
+			harness.AblationTable(e, w, harness.AblateGroup).Render(os.Stdout)
+		}
+	}
+}
+
+func BenchmarkAblationWindow(b *testing.B) {
+	e := fullEnv()
+	for i := 0; i < b.N; i++ {
+		for _, w := range e.Targets() {
+			harness.AblationTable(e, w, harness.AblateWindow).Render(os.Stdout)
+		}
+	}
+}
+
+func BenchmarkAblationRedoBudget(b *testing.B) {
+	e := fullEnv()
+	for i := 0; i < b.N; i++ {
+		for _, w := range e.Targets() {
+			harness.AblationTable(e, w, harness.AblateRedo).Render(os.Stdout)
+		}
+	}
+}
+
+func BenchmarkAblationRollback(b *testing.B) {
+	e := fullEnv()
+	for i := 0; i < b.N; i++ {
+		for _, w := range e.Targets() {
+			harness.AblationTable(e, w, harness.AblateRollback).Render(os.Stdout)
+		}
+	}
+}
+
+func BenchmarkAblationScheduler(b *testing.B) {
+	e := fullEnv()
+	for i := 0; i < b.N; i++ {
+		harness.SchedulerAblation(e).Render(os.Stdout)
+	}
+}
+
+func BenchmarkAblationRealSpeculation(b *testing.B) {
+	e := fullEnv()
+	for i := 0; i < b.N; i++ {
+		for _, w := range e.Targets() {
+			if !w.Desc().SupportsSTATS {
+				continue
+			}
+			harness.SpecBehaviorTable(e, w).Render(os.Stdout)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+// Command statsgen exports a benchmark's native inputs as JSON: the
+// synthetic substitutes for the paper's PARSEC inputs, fixed per
+// (workload, size, variant) so exports are reproducible artifacts.
+//
+// Usage:
+//
+//	statsgen -workload bodytrack -size 32                # native inputs
+//	statsgen -workload facedet -size 32 -bad             # §4.6 variant
+//	statsgen -workload swaptions -size 34 -summary       # one-line summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/inputgen"
+)
+
+func main() {
+	name := flag.String("workload", "bodytrack", "benchmark name")
+	size := flag.Int("size", 32, "input size (workload units)")
+	bad := flag.Bool("bad", false, "export the non-representative (§4.6) variant")
+	summary := flag.Bool("summary", false, "print a one-line summary instead of JSON")
+	flag.Parse()
+
+	d, err := inputgen.Export(*name, *size, *bad)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "statsgen:", err)
+		os.Exit(2)
+	}
+	if *summary {
+		fmt.Println(d.Summary())
+		return
+	}
+	if err := d.WriteJSON(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "statsgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,78 @@
+// Command statsrun executes one benchmark reproduction, conventionally or
+// through the STATS runtime, and reports its speculation statistics and
+// output quality (distance from the §4.2 oracle).
+//
+// Usage:
+//
+//	statsrun -workload bodytrack -size 32 -aux -group 8 -window 3 -redo 2 -rollback 2 -workers 8
+//	statsrun -workload canneal            # the statically rejected benchmark
+//	statsrun -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/workload"
+	"repro/internal/workload/registry"
+)
+
+func main() {
+	name := flag.String("workload", "bodytrack", "benchmark name")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	size := flag.Int("size", workload.NativeSize, "input size (workload units)")
+	seed := flag.Uint64("seed", 1, "run seed (the nondeterminism)")
+	aux := flag.Bool("aux", false, "satisfy the state dependence with auxiliary code")
+	group := flag.Int("group", 8, "input group cardinality")
+	window := flag.Int("window", 2, "auxiliary-code input window")
+	redo := flag.Int("redo", 2, "max original-producer re-executions")
+	rollback := flag.Int("rollback", 2, "inputs to go back per re-execution")
+	workers := flag.Int("workers", 8, "runtime worker-pool width")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(registry.Names(), "\n"))
+		return
+	}
+
+	w, err := registry.ByName(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "statsrun:", err)
+		os.Exit(2)
+	}
+	d := w.Desc()
+	fmt.Printf("benchmark: %s (state dependences: %d)\n", d.Name, d.NumDeps)
+	if !d.SupportsSTATS && *aux {
+		fmt.Printf("STATS statically rejects this benchmark: %s\n", d.RejectReason)
+		fmt.Println("falling back to conventional execution")
+	}
+
+	oracle := w.RunOracle(*size)
+
+	start := time.Now()
+	res, st := w.RunSTATS(*seed, *size, workload.SpecOptions{
+		UseAux:    *aux,
+		GroupSize: *group,
+		Window:    *window,
+		RedoMax:   *redo,
+		Rollback:  *rollback,
+		Workers:   *workers,
+	})
+	elapsed := time.Since(start)
+
+	fmt.Printf("wall time:            %v\n", elapsed)
+	fmt.Printf("inputs:               %d (groups: %d)\n", st.Inputs, st.Groups)
+	fmt.Printf("speculative commits:  %d inputs\n", st.SpeculativeCommits)
+	fmt.Printf("matches / redos:      %d / %d\n", st.Matches, st.Redos)
+	fmt.Printf("aborts / squashed:    %d / %d inputs\n", st.Aborts, st.SquashedInputs)
+	fmt.Printf("invocations (useful): %d (%d)\n", st.Invocations, st.UsefulInvocations)
+	fmt.Printf("aux calls / inputs:   %d / %d\n", st.AuxCalls, st.AuxInputs)
+	fmt.Printf("output distance from oracle (%s metric): %.6g\n", d.Name, res.Distance(oracle))
+
+	// Reference: conventional run quality band.
+	conv := w.RunOriginal(*seed, *size)
+	fmt.Printf("conventional run distance (same seed):    %.6g\n", conv.Distance(oracle))
+}

@@ -1,0 +1,82 @@
+// Command statstrace renders the simulated schedule of a benchmark as an
+// ASCII Gantt chart — the Figure 5 view: the serialized chain of the
+// conventional execution versus the overlapped groups, auxiliary tasks and
+// validations of the speculative one.
+//
+// Usage:
+//
+//	statstrace -workload bodytrack -mode seq -threads 8            # Fig. 5a
+//	statstrace -workload bodytrack -mode parstats -threads 8 -aux  # Fig. 5b
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/energy"
+	"repro/internal/platform"
+	"repro/internal/taskgen"
+	"repro/internal/trace"
+	"repro/internal/workload"
+	"repro/internal/workload/registry"
+)
+
+func main() {
+	name := flag.String("workload", "bodytrack", "benchmark name")
+	modeFlag := flag.String("mode", "parstats", "program shape: seq, original, seqstats, parstats")
+	threads := flag.Int("threads", 8, "hardware threads")
+	size := flag.Int("size", 32, "input chain length")
+	aux := flag.Bool("aux", true, "satisfy the state dependence with auxiliary code")
+	group := flag.Int("group", 8, "group cardinality")
+	window := flag.Int("window", 2, "auxiliary input window")
+	redo := flag.Int("redo", 2, "redo budget")
+	rollback := flag.Int("rollback", 2, "rollback width")
+	width := flag.Int("width", 100, "chart width in columns")
+	rows := flag.Int("rows", 16, "max thread rows")
+	power := flag.Bool("power", false, "also render the modeled power timeline")
+	seed := flag.Uint64("seed", 7, "speculation-outcome seed")
+	flag.Parse()
+
+	w, err := registry.ByName(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "statstrace:", err)
+		os.Exit(2)
+	}
+	var mode taskgen.Mode
+	switch *modeFlag {
+	case "seq":
+		mode = taskgen.Sequential
+	case "original":
+		mode = taskgen.Original
+	case "seqstats":
+		mode = taskgen.SeqSTATS
+	case "parstats":
+		mode = taskgen.ParSTATS
+	default:
+		fmt.Fprintf(os.Stderr, "statstrace: unknown mode %q\n", *modeFlag)
+		os.Exit(2)
+	}
+
+	o := workload.SpecOptions{
+		UseAux: *aux, GroupSize: *group, Window: *window,
+		RedoMax: *redo, Rollback: *rollback,
+	}
+	m := w.CostModel(*size, o)
+	g := taskgen.Build(mode, m, o, *seed)
+	res := platform.Simulate(platform.Haswell28(false), g, *threads)
+
+	fmt.Printf("%s, %s, %d inputs, %d threads\n", w.Desc().Name, mode, *size, *threads)
+	trace.Render(os.Stdout, res, trace.Options{Width: *width, MaxThreads: *rows})
+	if *power {
+		trace.RenderPower(os.Stdout, res, energy.Default(), trace.PowerOptions{Width: *width})
+	}
+	fmt.Println(trace.Summary(res))
+	th, busy := trace.CriticalThread(res)
+	fmt.Printf("critical thread t%02d busy %.2f of %.2f\n", th, busy, res.Makespan)
+
+	// The comparison baseline.
+	seq := platform.Simulate(platform.Haswell28(false),
+		taskgen.Build(taskgen.Sequential, m, workload.SpecOptions{}, *seed), 1)
+	fmt.Printf("speedup vs single-threaded original: %.2fx\n", seq.Makespan/res.Makespan)
+}

@@ -1,0 +1,148 @@
+package autotune
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/space"
+)
+
+func quadSpace() *space.Space {
+	s := space.New()
+	s.Add(space.Dimension{Name: "x", Size: 21, Default: 0})
+	s.Add(space.Dimension{Name: "y", Size: 21, Default: 0})
+	return s
+}
+
+// quadObj has a unique optimum at (15, 5).
+func quadObj(c space.Config) float64 {
+	dx := float64(c[0] - 15)
+	dy := float64(c[1] - 5)
+	return dx*dx + dy*dy
+}
+
+func TestFindsOptimum(t *testing.T) {
+	res := Tune(quadSpace(), quadObj, Options{Budget: 400, Seed: 1})
+	if res.BestVal != 0 {
+		t.Fatalf("best value: %v (config %v)", res.BestVal, res.Best)
+	}
+}
+
+func TestBaselineEvaluatedFirst(t *testing.T) {
+	res := Tune(quadSpace(), quadObj, Options{Budget: 5, Seed: 1})
+	first := res.Trace.Evaluations[0]
+	if first.Technique != "default" || first.Config[0] != 0 || first.Config[1] != 0 {
+		t.Fatalf("first evaluation: %+v", first)
+	}
+}
+
+func TestNeverWorseThanBaseline(t *testing.T) {
+	baseline := quadObj(quadSpace().Default())
+	for seed := uint64(0); seed < 10; seed++ {
+		res := Tune(quadSpace(), quadObj, Options{Budget: 3, Seed: seed})
+		if res.BestVal > baseline {
+			t.Fatalf("seed %d: best %v worse than baseline %v", seed, res.BestVal, baseline)
+		}
+	}
+}
+
+func TestBestSoFarMonotone(t *testing.T) {
+	res := Tune(quadSpace(), quadObj, Options{Budget: 200, Seed: 3})
+	prev := math.Inf(1)
+	for i, e := range res.Trace.Evaluations {
+		if e.BestSoFar > prev {
+			t.Fatalf("best-so-far increased at %d: %v > %v", i, e.BestSoFar, prev)
+		}
+		prev = e.BestSoFar
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	a := Tune(quadSpace(), quadObj, Options{Budget: 100, Seed: 9})
+	b := Tune(quadSpace(), quadObj, Options{Budget: 100, Seed: 9})
+	if a.BestVal != b.BestVal || len(a.Trace.Evaluations) != len(b.Trace.Evaluations) {
+		t.Fatal("same seed diverged")
+	}
+}
+
+func TestSeedsExploreDifferently(t *testing.T) {
+	a := Tune(quadSpace(), quadObj, Options{Budget: 10, Seed: 1})
+	b := Tune(quadSpace(), quadObj, Options{Budget: 10, Seed: 2})
+	diff := false
+	for i := range a.Trace.Evaluations {
+		if a.Trace.Evaluations[i].Value != b.Trace.Evaluations[i].Value {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds explored identically")
+	}
+}
+
+func TestFrozenDimensionsPinned(t *testing.T) {
+	res := Tune(quadSpace(), quadObj, Options{Budget: 300, Seed: 1, Frozen: map[int]int64{0: 2}})
+	for _, e := range res.Trace.Evaluations {
+		if e.Config[0] != 2 {
+			t.Fatalf("frozen dimension moved: %v", e.Config)
+		}
+	}
+	// The best achievable with x pinned at 2 is (2-15)^2 = 169.
+	if res.BestVal != 169 {
+		t.Fatalf("best with frozen x: %v", res.BestVal)
+	}
+}
+
+func TestMemoizationAvoidsRecomputation(t *testing.T) {
+	calls := 0
+	obj := func(c space.Config) float64 {
+		calls++
+		return quadObj(c)
+	}
+	res := Tune(quadSpace(), obj, Options{Budget: 500, Seed: 4})
+	if calls >= len(res.Trace.Evaluations) {
+		t.Fatalf("no memoization: %d calls for %d evaluations", calls, len(res.Trace.Evaluations))
+	}
+}
+
+func TestTraceBestAfter(t *testing.T) {
+	res := Tune(quadSpace(), quadObj, Options{Budget: 100, Seed: 5})
+	if res.Trace.BestAfter(0) != math.Inf(1) {
+		t.Fatal("BestAfter(0)")
+	}
+	if res.Trace.BestAfter(100) != res.BestVal {
+		t.Fatal("BestAfter(end)")
+	}
+	if res.Trace.BestAfter(10) < res.Trace.BestAfter(100) {
+		t.Fatal("BestAfter must be non-increasing in n")
+	}
+}
+
+func TestEvaluationsToReach(t *testing.T) {
+	res := Tune(quadSpace(), quadObj, Options{Budget: 300, Seed: 6})
+	n := res.Trace.EvaluationsToReach(1.0)
+	if n < 1 || n > 300 {
+		t.Fatalf("evaluations to reach: %d", n)
+	}
+	if res.Trace.BestAfter(n) != res.BestVal {
+		t.Fatal("inconsistent EvaluationsToReach")
+	}
+}
+
+func TestConvergenceWithinBudget(t *testing.T) {
+	// Across seeds the tuner should be close to optimal well before a
+	// few hundred evaluations on this small space (the Fig. 20 shape).
+	for seed := uint64(0); seed < 6; seed++ {
+		res := Tune(quadSpace(), quadObj, Options{Budget: 300, Seed: seed})
+		if res.Trace.BestAfter(150) > 4 {
+			t.Fatalf("seed %d: best after 150 evals is %v", seed, res.Trace.BestAfter(150))
+		}
+	}
+}
+
+func TestTinyBudget(t *testing.T) {
+	res := Tune(quadSpace(), quadObj, Options{Budget: 0, Seed: 1})
+	if len(res.Trace.Evaluations) != 1 {
+		t.Fatalf("evaluations: %d", len(res.Trace.Evaluations))
+	}
+}

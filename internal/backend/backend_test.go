@@ -1,0 +1,215 @@
+package backend
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/frontend"
+	"repro/internal/ir"
+	"repro/internal/midend"
+)
+
+const fixture = `
+tradeoff TO_layers {
+    kind constant;
+    values 1..10;
+    default 4;
+}
+
+tradeoff TO_weightType {
+    kind type;
+    values half, single, double;
+    default 2;
+}
+
+tradeoff TO_sqrt {
+    kind function;
+    values sqrt_exact, sqrt_newton2;
+    default 0;
+}
+
+statedep track {
+    input Frame;
+    state Model;
+    output Pos;
+    compute updateModel uses TO_layers, TO_weightType, TO_sqrt;
+    compare cmp;
+}
+`
+
+func compile(t *testing.T, cfg Config) *Program {
+	t.Helper()
+	fo, err := frontend.Translate(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := midend.Lower(fo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(m, cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDefaultInstantiation(t *testing.T) {
+	p := compile(t, Config{})
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// layers default index 4 -> value 5.
+	if got := p.Constants["TO_layers$aux$track"]; got != 5 {
+		t.Fatalf("layers constant: %d", got)
+	}
+	// weight type default index 2 -> "double".
+	if got := p.TypeBindings["v_TO_weightType"]; got != "double" {
+		t.Fatalf("type binding: %q", got)
+	}
+	// sqrt default index 0 -> sqrt_exact.
+	if got := p.Callees["TO_sqrt$aux$track"]; got != "sqrt_exact" {
+		t.Fatalf("callee: %q", got)
+	}
+}
+
+func TestExplicitConfig(t *testing.T) {
+	p := compile(t, Config{
+		TradeoffIdx: map[string]int64{
+			"TO_layers$aux$track":     0,
+			"TO_weightType$aux$track": 0,
+			"TO_sqrt$aux$track":       1,
+		},
+		Runtime: map[string]RuntimeOptions{
+			"track": {UseAux: true, GroupSize: 8, Window: 2, RedoMax: 1, Rollback: 2},
+		},
+	})
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Constants["TO_layers$aux$track"] != 1 {
+		t.Fatal("layers index 0 -> 1 layer")
+	}
+	if p.TypeBindings["v_TO_weightType"] != "half" {
+		t.Fatal("type index 0 -> half")
+	}
+	if p.Callees["TO_sqrt$aux$track"] != "sqrt_newton2" {
+		t.Fatal("function index 1 -> sqrt_newton2")
+	}
+	ro := p.Runtime["track"]
+	if !ro.UseAux || ro.GroupSize != 8 {
+		t.Fatalf("runtime: %+v", ro)
+	}
+}
+
+func TestSubstitutionRewritesAuxOnly(t *testing.T) {
+	p := compile(t, Config{TradeoffIdx: map[string]int64{"TO_layers$aux$track": 9}})
+	// The aux compute's placeholder is now the constant 10.
+	aux := p.Module.Functions["updateModel$aux$track"]
+	found := false
+	for _, in := range aux.Instrs {
+		if in.Op == ir.Const && in.Value == 10 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("aux constant not substituted")
+	}
+	// The original compute keeps its pinned default (5).
+	orig := p.Module.Functions["updateModel"]
+	for _, in := range orig.Instrs {
+		if in.Op == ir.Const && in.Value == 10 {
+			t.Fatal("original was rewritten by an aux tradeoff")
+		}
+	}
+}
+
+func TestFunctionSubstitutionRewiresCallee(t *testing.T) {
+	p := compile(t, Config{TradeoffIdx: map[string]int64{"TO_sqrt$aux$track": 1}})
+	kernel := p.Module.Functions["updateModel$kernel$aux$track"]
+	found := false
+	for _, in := range kernel.Instrs {
+		if in.Op == ir.Call && in.Callee == "sqrt_newton2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("callee not rewired")
+	}
+}
+
+func TestTypeSubstitutionRecordsCast(t *testing.T) {
+	p := compile(t, Config{TradeoffIdx: map[string]int64{"TO_weightType$aux$track": 1}})
+	// The type tradeoff lives in the kernel helper's aux clone.
+	aux := p.Module.Functions["updateModel$kernel$aux$track"]
+	found := false
+	for _, in := range aux.Instrs {
+		if in.Op == ir.Extern && strings.HasSuffix(in.Name, ":single") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("re-typed variable missing cast annotation")
+	}
+}
+
+func TestBadIndexRejected(t *testing.T) {
+	fo, _ := frontend.Translate(fixture)
+	m, _ := midend.Lower(fo)
+	if _, err := Compile(m, Config{TradeoffIdx: map[string]int64{"TO_layers$aux$track": 10}}, 0); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestUseAuxWithoutAuxRejected(t *testing.T) {
+	fo, _ := frontend.Translate(fixture)
+	m, _ := midend.Lower(fo)
+	// Break the metadata: no aux compute.
+	m.Deps[0].AuxCompute = ""
+	if _, err := Compile(m, Config{Runtime: map[string]RuntimeOptions{"track": {UseAux: true}}}, 0); err == nil {
+		t.Fatal("UseAux without aux code accepted")
+	}
+}
+
+func TestSizeIncreaseReported(t *testing.T) {
+	p := compile(t, Config{})
+	if p.SizeIncrease <= 0 {
+		t.Fatalf("size increase: %v", p.SizeIncrease)
+	}
+}
+
+func TestCompileDoesNotMutateInput(t *testing.T) {
+	fo, _ := frontend.Translate(fixture)
+	m, _ := midend.Lower(fo)
+	before := m.InstrCount()
+	var refsBefore int
+	for _, f := range m.Functions {
+		refsBefore += len(f.TradeoffRefs())
+	}
+	if _, err := Compile(m, Config{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	var refsAfter int
+	for _, f := range m.Functions {
+		refsAfter += len(f.TradeoffRefs())
+	}
+	if m.InstrCount() != before || refsAfter != refsBefore {
+		t.Fatal("Compile mutated the shared IR; re-instantiation would break")
+	}
+}
+
+func TestRepeatedInstantiationCheap(t *testing.T) {
+	// The autotuner re-instantiates the same IR for many configurations;
+	// every instantiation must be independent.
+	fo, _ := frontend.Translate(fixture)
+	m, _ := midend.Lower(fo)
+	for idx := int64(0); idx < 10; idx++ {
+		p, err := Compile(m, Config{TradeoffIdx: map[string]int64{"TO_layers$aux$track": idx}}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Constants["TO_layers$aux$track"] != idx+1 {
+			t.Fatalf("instantiation %d wrong", idx)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// Engine micro-benchmarks: overhead of the speculation machinery itself
+// (grouping, cloning, validation bookkeeping) around a near-free compute.
+
+func cheapCompute(r *rng.Source, in int, s walkState) (int, walkState) {
+	s.V += float64(in)
+	return in, s
+}
+
+func benchInputs(n int) []int {
+	in := make([]int, n)
+	for i := range in {
+		in[i] = i + 1
+	}
+	return in
+}
+
+func BenchmarkEngineSequential(b *testing.B) {
+	inputs := benchInputs(1024)
+	d := New(cheapCompute, nil, walkOps())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Run(inputs, walkState{}, Options{Seed: uint64(i)})
+	}
+}
+
+func BenchmarkEngineSpeculative(b *testing.B) {
+	inputs := benchInputs(1024)
+	d := New(cheapCompute, sumAux, walkOps())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Run(inputs, walkState{}, Options{
+			UseAux: true, GroupSize: 64, Window: 64, RedoMax: 1, Rollback: 4,
+			Workers: 8, Seed: uint64(i),
+		})
+	}
+}
+
+func BenchmarkEngineAdaptive(b *testing.B) {
+	inputs := benchInputs(1024)
+	d := New(cheapCompute, sumAux, walkOps())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.RunAdaptive(inputs, walkState{}, AdaptiveOptions{
+			Options: Options{
+				UseAux: true, GroupSize: 16, Window: 64, RedoMax: 1, Rollback: 4,
+				Workers: 8, Seed: uint64(i),
+			},
+			MaxGroup: 64,
+		})
+	}
+}
+
+func BenchmarkRNGSplit(b *testing.B) {
+	r := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Split()
+	}
+}
+
+func BenchmarkRNGNorm(b *testing.B) {
+	r := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Norm()
+	}
+}

@@ -1,0 +1,487 @@
+// Package core implements the paper's primary contribution: the STATS
+// execution model of §3.1, which satisfies state dependences with
+// compiler-generated auxiliary code and validates the speculation at run
+// time.
+//
+// A state dependence is the code pattern of Figure 4: invocation i computes
+// an output from an input while reading and updating a state S, so
+// invocation i+1 depends on invocation i's state write, serializing the
+// chain. The engine breaks the chain by grouping inputs into ordered blocks
+// and overlapping the blocks' computations; each block after the first
+// starts from a speculative state produced by auxiliary code from only a few
+// recent inputs. When the preceding block finishes, its final state is
+// compared with the speculative state (the developer's
+// doesSpecStateMatchAny); on mismatch the preceding block may re-execute its
+// last few inputs — fresh nondeterminism can produce a different, matching
+// final state — up to a budget. If the budget is exhausted, all subsequent
+// blocks are aborted and squashed, execution resumes sequentially from the
+// first original final state, and no further speculation is performed for
+// the current input vector.
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/pool"
+	"repro/internal/rng"
+)
+
+// Compute is the target of a state dependence (computeOutput in Figure 8):
+// given an input and the current state, it produces an output and the next
+// state. It must not retain s. The rng.Source carries the invocation's
+// nondeterminism; re-executions receive fresh sources, which is what gives
+// the runtime multiple original states to match against.
+type Compute[I, S, O any] func(r *rng.Source, in I, s S) (O, S)
+
+// Aux is auxiliary code for a state dependence: an alternative producer that
+// builds a speculative state from the initial state and the window of inputs
+// immediately preceding the block it feeds. A nil Aux means the dependence
+// has no auxiliary code and must be satisfied conventionally.
+type Aux[I, S any] func(r *rng.Source, init S, recent []I) S
+
+// StateOps supplies the developer-provided state methods of the SDI
+// (Figure 9): Clone corresponds to operator= (state privatization), and
+// MatchAny to doesSpecStateMatchAny (speculative-state acceptance against a
+// set of original states).
+type StateOps[S any] struct {
+	Clone    func(S) S
+	MatchAny func(spec S, originals []S) bool
+}
+
+// Options configures one run of the engine. All values correspond to state
+// space dimensions (§3.3) chosen by the autotuner.
+type Options struct {
+	// UseAux enables speculation. When false the dependence is satisfied
+	// conventionally (the paper's baseline).
+	UseAux bool
+	// GroupSize is the input-group cardinality G. Values below 1 are
+	// treated as 1.
+	GroupSize int
+	// Window is the number of previous inputs the auxiliary code
+	// consumes (k). Negative values are treated as 0.
+	Window int
+	// RedoMax is the number of times the original producer may
+	// re-execute per validation (R). Negative values are treated as 0.
+	RedoMax int
+	// Rollback is how many inputs a re-execution goes back (W), clamped
+	// to [1, group length].
+	Rollback int
+	// Workers is the number of pool workers used for group-level TLP.
+	Workers int
+	// Seed determines every random stream of the run. Runs with equal
+	// seeds and options are reproducible; distinct seeds model the
+	// program's nondeterminism.
+	Seed uint64
+	// Pool, when non-nil, supplies the shared worker pool; otherwise the
+	// engine creates a private pool of Options.Workers width for the run.
+	Pool *pool.Pool
+}
+
+// Stats reports what the runtime did during a run. The profiler and the
+// evaluation harness consume these to account overhead, abort rates, and
+// wasted work.
+type Stats struct {
+	Inputs  int // inputs processed
+	Groups  int // groups formed (1 means sequential)
+	Matches int // speculative states accepted
+	Redos   int // original-producer re-executions performed
+	Aborts  int // validation failures that aborted speculation
+
+	// SpeculativeCommits counts inputs whose outputs were committed from
+	// a speculative (group > 0) execution.
+	SpeculativeCommits int
+	// SquashedInputs counts inputs whose speculative outputs were thrown
+	// away by an abort.
+	SquashedInputs int
+	// FallbackInputs counts inputs re-processed sequentially after an
+	// abort.
+	FallbackInputs int
+	// Invocations counts every Compute call, including re-executions and
+	// squashed work; UsefulInvocations counts only calls whose output was
+	// committed.
+	Invocations       int64
+	UsefulInvocations int64
+	// AuxCalls counts auxiliary-code executions; AuxInputs the total
+	// inputs they consumed.
+	AuxCalls  int
+	AuxInputs int
+}
+
+// Dependence is a runnable state dependence: the compute target, its
+// auxiliary code, and the state methods.
+type Dependence[I, S, O any] struct {
+	compute Compute[I, S, O]
+	aux     Aux[I, S]
+	ops     StateOps[S]
+}
+
+// New returns a Dependence. compute and ops.Clone must be non-nil; aux and
+// ops.MatchAny may be nil (no auxiliary code / by-construction acceptance,
+// like the paper's swaptions, streamcluster and streamclassifier, whose
+// speculative state "could have already been generated by an execution of
+// the original program").
+func New[I, S, O any](compute Compute[I, S, O], aux Aux[I, S], ops StateOps[S]) *Dependence[I, S, O] {
+	if compute == nil {
+		panic("core: nil compute")
+	}
+	if ops.Clone == nil {
+		panic("core: nil state clone")
+	}
+	return &Dependence[I, S, O]{compute: compute, aux: aux, ops: ops}
+}
+
+// matchAny applies the developer's acceptance method; a nil MatchAny accepts
+// by construction.
+func (d *Dependence[I, S, O]) matchAny(spec S, originals []S) bool {
+	if d.ops.MatchAny == nil {
+		return true
+	}
+	return d.ops.MatchAny(spec, originals)
+}
+
+// Run processes inputs starting from initial, returning the outputs in input
+// order, the final state, and run statistics. The initial state is not
+// mutated (it is cloned before first use).
+func (d *Dependence[I, S, O]) Run(inputs []I, initial S, opts Options) ([]O, S, Stats) {
+	return d.runAll(inputs, initial, opts, nil)
+}
+
+// runAll is the engine entry shared by Run and RunStream.
+func (d *Dependence[I, S, O]) runAll(inputs []I, initial S, opts Options, emit Emit[O]) ([]O, S, Stats) {
+	var st Stats
+	st.Inputs = len(inputs)
+	root := rng.New(opts.Seed)
+
+	if len(inputs) == 0 {
+		st.Groups = 0
+		return nil, d.ops.Clone(initial), st
+	}
+
+	g := opts.GroupSize
+	if g < 1 {
+		g = 1
+	}
+	speculating := opts.UseAux && d.aux != nil && g < len(inputs)
+	if !speculating {
+		outs, final := d.runSequential(root, inputs, d.ops.Clone(initial), &st, emit, 0)
+		st.Groups = 1
+		return outs, final, st
+	}
+	return d.runSpeculative(root, inputs, initial, g, opts, &st, emit)
+}
+
+// runSequential is the conventional execution: one invocation after
+// another. Outputs stream through emit (when non-nil) as they are
+// computed; base is the global index of the first input.
+func (d *Dependence[I, S, O]) runSequential(r *rng.Source, inputs []I, s S, st *Stats, emit Emit[O], base int) ([]O, S) {
+	outs := make([]O, 0, len(inputs))
+	for i, in := range inputs {
+		var o O
+		o, s = d.compute(r.Split(), in, s)
+		st.Invocations++
+		st.UsefulInvocations++
+		outs = append(outs, o)
+		if emit != nil {
+			emit(base+i, o)
+		}
+	}
+	return outs, s
+}
+
+// capturedPanic wraps a panic value recovered on a pool worker.
+type capturedPanic struct{ value any }
+
+// execution is one (re-)execution of a group suffix: its outputs and final
+// state.
+type execution[S, O any] struct {
+	outputs []O
+	final   S
+}
+
+// groupRun holds the state of one input group during a speculative run.
+type groupRun[I, S, O any] struct {
+	start, end int // input index range [start, end)
+	specStart  S   // the state the group started from (spec or S0)
+
+	// First (original) execution results.
+	base execution[S, O]
+	// checkpoint is the state before the last W inputs of the group,
+	// from which re-executions restart; checkpointAt is its input index.
+	checkpoint   S
+	checkpointAt int
+
+	// redoSrc yields fresh randomness for re-executions.
+	redoSrc *rng.Source
+
+	done    chan struct{}
+	aborted atomic.Bool // set to squash this group's in-flight work
+}
+
+// runSpeculative implements the §3.1 execution model. Outputs stream
+// through emit (when non-nil) at their commit points: a group's outputs
+// become final when the NEXT boundary's validation resolves (a redo may
+// splice its suffix until then), the last group's at run completion, and
+// fallback outputs as they are computed.
+func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initial S, g int, opts Options, st *Stats, emit Emit[O]) ([]O, S, Stats) {
+	n := len(inputs)
+	numGroups := (n + g - 1) / g
+	st.Groups = numGroups
+
+	window := opts.Window
+	if window < 0 {
+		window = 0
+	}
+	redoMax := opts.RedoMax
+	if redoMax < 0 {
+		redoMax = 0
+	}
+
+	// Derive all random streams on the coordinator so the run is
+	// reproducible regardless of scheduling: per-group spec stream,
+	// execution stream, and redo stream.
+	groups := make([]*groupRun[I, S, O], numGroups)
+	specSrcs := make([]*rng.Source, numGroups)
+	execSrcs := make([]*rng.Source, numGroups)
+	for j := 0; j < numGroups; j++ {
+		specSrcs[j] = root.Split()
+		execSrcs[j] = root.Split()
+		groups[j] = &groupRun[I, S, O]{
+			start:   j * g,
+			end:     min(n, (j+1)*g),
+			redoSrc: root.Split(),
+			done:    make(chan struct{}),
+		}
+	}
+
+	// Speculative start states: group 0 starts from the initial state;
+	// group j>0 from aux(S0, last `window` inputs before the group).
+	groups[0].specStart = d.ops.Clone(initial)
+	for j := 1; j < numGroups; j++ {
+		lo := groups[j].start - window
+		if lo < 0 {
+			lo = 0
+		}
+		recent := inputs[lo:groups[j].start]
+		groups[j].specStart = d.aux(specSrcs[j], d.ops.Clone(initial), recent)
+		st.AuxCalls++
+		st.AuxInputs += len(recent)
+	}
+
+	// Launch every group; each runs its inputs sequentially from its
+	// (speculative) start state, checkpointing before its last W inputs.
+	p := opts.Pool
+	if p == nil {
+		w := opts.Workers
+		if w < 1 {
+			w = 1
+		}
+		p = pool.New(w)
+		defer p.Close()
+	}
+	var invocations atomic.Int64
+	var wg sync.WaitGroup
+	// A panic in user code on a pool worker would kill the process;
+	// capture the first one and re-raise it on the coordinating
+	// goroutine so callers can recover it like any synchronous panic.
+	var panicked atomic.Value
+	for j := 0; j < numGroups; j++ {
+		j := j
+		gr := groups[j]
+		wg.Add(1)
+		task := func() {
+			defer wg.Done()
+			defer close(gr.done)
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, capturedPanic{value: r})
+					// Squash everything; the run is aborted.
+					for _, g := range groups {
+						g.aborted.Store(true)
+					}
+				}
+			}()
+			d.executeGroup(execSrcs[j], inputs, gr, opts.Rollback, &invocations)
+		}
+		if err := p.Submit(task); err != nil {
+			task()
+		}
+	}
+	rethrow := func() {
+		if pv := panicked.Load(); pv != nil {
+			panic(pv.(capturedPanic).value)
+		}
+	}
+
+	// Validate in input order. Group 0 is never speculative. For each
+	// subsequent group, gather originals from the previous group (first
+	// execution plus up to redoMax re-executions) and ask the developer's
+	// acceptance method whether the speculative start state matches.
+	outs := make([]O, 0, n)
+	validPrev := groups[0]
+	<-validPrev.done
+	rethrow()
+	// accepted holds, per validated group, the execution whose outputs
+	// are committed.
+	committed := make([]execution[S, O], numGroups)
+	committed[0] = validPrev.base
+
+	abortAt := -1 // first group index whose speculation failed
+	for j := 1; j < numGroups; j++ {
+		prev := groups[j-1]
+		cur := groups[j]
+		<-cur.done
+		rethrow()
+
+		// The previous group's final state depends on which of its
+		// executions was committed; re-executions below replace only
+		// the suffix after the checkpoint, so the originals set always
+		// extends the committed prefix.
+		originals := []S{committed[j-1].final}
+		matched := d.matchAny(cur.specStart, originals)
+		acceptedExec := committed[j-1]
+
+		for t := 0; !matched && t < redoMax; t++ {
+			redo := d.redoGroup(prev, inputs, &invocations)
+			st.Redos++
+			originals = append(originals, redo.final)
+			if d.matchAny(cur.specStart, originals) {
+				matched = true
+				// Commit the matching re-execution's suffix in
+				// place of the first execution's.
+				acceptedExec = spliceExecution(committed[j-1], redo, prev)
+			}
+		}
+
+		if matched {
+			st.Matches++
+			committed[j-1] = acceptedExec
+			committed[j] = cur.base
+			emitExec(emit, committed[j-1], groups[j-1].start)
+			continue
+		}
+
+		// Speculation failed: abort this and all subsequent groups.
+		st.Aborts++
+		abortAt = j
+		for k := j; k < numGroups; k++ {
+			groups[k].aborted.Store(true)
+		}
+		break
+	}
+
+	if abortAt < 0 {
+		// Every group validated; commit in order.
+		wg.Wait()
+		rethrow()
+		for j := 0; j < numGroups; j++ {
+			outs = append(outs, committed[j].outputs...)
+			if j > 0 {
+				st.SpeculativeCommits += groups[j].end - groups[j].start
+			}
+		}
+		emitExec(emit, committed[numGroups-1], groups[numGroups-1].start)
+		st.Invocations += invocations.Load()
+		st.UsefulInvocations += int64(n) // one committed invocation per input
+		return outs, committed[numGroups-1].final, *st
+	}
+
+	// Abort path: wait out in-flight groups (they bail early on the
+	// aborted flag), squash their outputs, and reprocess the remaining
+	// inputs sequentially from the first original final state of the
+	// last valid group. Per §3.1, "no other speculation is performed
+	// until all the current inputs are processed."
+	wg.Wait()
+	rethrow()
+	for j := 0; j < abortAt; j++ {
+		outs = append(outs, committed[j].outputs...)
+		if j > 0 {
+			st.SpeculativeCommits += groups[j].end - groups[j].start
+		}
+	}
+	emitExec(emit, committed[abortAt-1], groups[abortAt-1].start)
+	st.SquashedInputs = n - groups[abortAt].start
+	st.Invocations += invocations.Load()
+
+	fallbackStart := groups[abortAt].start
+	st.FallbackInputs = n - fallbackStart
+	fbOuts, final := d.runSequential(root, inputs[fallbackStart:], committed[abortAt-1].final, st, emit, fallbackStart)
+	outs = append(outs, fbOuts...)
+	st.UsefulInvocations += int64(fallbackStart)
+	return outs, final, *st
+}
+
+// emitExec streams one committed execution's outputs.
+func emitExec[S, O any](emit Emit[O], exec execution[S, O], base int) {
+	if emit == nil {
+		return
+	}
+	for i, o := range exec.outputs {
+		emit(base+i, o)
+	}
+}
+
+// executeGroup runs one group's inputs sequentially from its start state,
+// recording the checkpoint needed for re-executions. If the group is
+// aborted mid-flight it bails out early; its results are then never read.
+func (d *Dependence[I, S, O]) executeGroup(r *rng.Source, inputs []I, gr *groupRun[I, S, O], rollback int, invocations *atomic.Int64) {
+	length := gr.end - gr.start
+	w := rollback
+	if w < 1 {
+		w = 1
+	}
+	if w > length {
+		w = length
+	}
+	checkpointAt := gr.end - w
+
+	s := d.ops.Clone(gr.specStart)
+	outs := make([]O, 0, length)
+	gr.checkpointAt = checkpointAt
+	for idx := gr.start; idx < gr.end; idx++ {
+		if gr.aborted.Load() {
+			// Squashed: record what we have; it will be discarded.
+			gr.base = execution[S, O]{outputs: outs, final: s}
+			return
+		}
+		if idx == checkpointAt {
+			gr.checkpoint = d.ops.Clone(s)
+		}
+		var o O
+		o, s = d.compute(r.Split(), inputs[idx], s)
+		invocations.Add(1)
+		outs = append(outs, o)
+	}
+	gr.base = execution[S, O]{outputs: outs, final: s}
+}
+
+// redoGroup re-executes the suffix of a group after its checkpoint with
+// fresh randomness, returning the suffix execution.
+func (d *Dependence[I, S, O]) redoGroup(gr *groupRun[I, S, O], inputs []I, invocations *atomic.Int64) execution[S, O] {
+	s := d.ops.Clone(gr.checkpoint)
+	outs := make([]O, 0, gr.end-gr.checkpointAt)
+	for idx := gr.checkpointAt; idx < gr.end; idx++ {
+		var o O
+		o, s = d.compute(gr.redoSrc.Split(), inputs[idx], s)
+		invocations.Add(1)
+		outs = append(outs, o)
+	}
+	return execution[S, O]{outputs: outs, final: s}
+}
+
+// spliceExecution replaces the post-checkpoint suffix of base with the
+// re-executed suffix, yielding the committed execution for the group.
+func spliceExecution[I, S, O any](base execution[S, O], redo execution[S, O], gr *groupRun[I, S, O]) execution[S, O] {
+	prefix := gr.checkpointAt - gr.start
+	outs := make([]O, 0, gr.end-gr.start)
+	outs = append(outs, base.outputs[:prefix]...)
+	outs = append(outs, redo.outputs...)
+	return execution[S, O]{outputs: outs, final: redo.final}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,21 @@
+package core
+
+// Streaming commit: outputs are delivered, in input order, the moment they
+// stop being speculative (§3.1: "When these checks succeed, the additional
+// TLP generated can be safely used") instead of materializing only when
+// the whole input vector has been processed. A downstream consumer can
+// therefore overlap with the dependence's tail — the natural next step for
+// the long-data-stream applications §4.8 identifies as STATS's best fit.
+
+// Emit receives committed outputs in input order. It is called from the
+// coordinating goroutine only (never concurrently), at the §3.1 commit
+// points: a group's outputs when the next boundary's validation resolves
+// (until then a re-execution may still splice the group's suffix), the
+// last group's at run completion, and fallback outputs as they compute.
+type Emit[O any] func(index int, output O)
+
+// RunStream behaves like Run but additionally delivers each output through
+// emit as soon as it commits. The returned values are identical to Run's.
+func (d *Dependence[I, S, O]) RunStream(inputs []I, initial S, opts Options, emit Emit[O]) ([]O, S, Stats) {
+	return d.runAll(inputs, initial, opts, emit)
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func TestRunStreamEmitsAllInOrder(t *testing.T) {
+	inputs := seqInputs(24)
+	d := New(deterministicCompute, exactAuxFor(inputs), walkOps())
+	var idxs []int
+	var vals []int
+	outs, _, st := d.RunStream(inputs, walkState{}, Options{
+		UseAux: true, GroupSize: 6, Window: 24, Workers: 4, Seed: 1,
+	}, func(i int, o int) {
+		idxs = append(idxs, i)
+		vals = append(vals, o)
+	})
+	checkOutputs(t, outs, wantOutputs(inputs))
+	if len(idxs) != 24 {
+		t.Fatalf("emitted %d outputs", len(idxs))
+	}
+	for i := range idxs {
+		if idxs[i] != i {
+			t.Fatalf("emission order broken at %d: %v", i, idxs[i])
+		}
+		if vals[i] != outs[i] {
+			t.Fatalf("emitted value %d != returned %d at %d", vals[i], outs[i], i)
+		}
+	}
+	if st.Matches != 3 {
+		t.Fatalf("matches: %d", st.Matches)
+	}
+}
+
+func TestRunStreamSequentialPath(t *testing.T) {
+	inputs := seqInputs(8)
+	d := New(deterministicCompute, nil, walkOps())
+	var n int
+	d.RunStream(inputs, walkState{}, Options{Seed: 1}, func(i int, o int) {
+		if i != n {
+			t.Fatalf("order: got %d want %d", i, n)
+		}
+		n++
+	})
+	if n != 8 {
+		t.Fatalf("emitted: %d", n)
+	}
+}
+
+func TestRunStreamAbortPathEmitsEverything(t *testing.T) {
+	inputs := seqInputs(12)
+	d := New(deterministicCompute, badAux, walkOps())
+	var n int
+	outs, _, st := d.RunStream(inputs, walkState{}, Options{
+		UseAux: true, GroupSize: 3, Window: 2, RedoMax: 1, Rollback: 1, Workers: 2, Seed: 3,
+	}, func(i int, o int) {
+		if i != n {
+			t.Fatalf("order: got %d want %d", i, n)
+		}
+		n++
+	})
+	checkOutputs(t, outs, wantOutputs(inputs))
+	if n != 12 {
+		t.Fatalf("emitted: %d", n)
+	}
+	if st.Aborts != 1 {
+		t.Fatalf("aborts: %d", st.Aborts)
+	}
+}
+
+func TestRunStreamNilEmitEqualsRun(t *testing.T) {
+	inputs := seqInputs(10)
+	d := New(deterministicCompute, exactAuxFor(inputs), walkOps())
+	o := Options{UseAux: true, GroupSize: 5, Window: 10, Seed: 4}
+	a, _, _ := d.RunStream(inputs, walkState{}, o, nil)
+	b, _, _ := d.Run(inputs, walkState{}, o)
+	checkOutputs(t, a, b)
+}
+
+func TestRunStreamOverlapsWithTail(t *testing.T) {
+	// The last group is slow: early groups' outputs must commit well
+	// before the run completes — the consumer can overlap.
+	inputs := seqInputs(16)
+	slowCompute := func(r *rng.Source, in int, s walkState) (int, walkState) {
+		if in > 12 { // last group of 4
+			time.Sleep(20 * time.Millisecond)
+		}
+		return deterministicCompute(r, in, s)
+	}
+	d := New(slowCompute, exactAuxFor(inputs), walkOps())
+	var firstEmit, lastEmit time.Time
+	start := time.Now()
+	d.RunStream(inputs, walkState{}, Options{
+		UseAux: true, GroupSize: 4, Window: 16, Workers: 4, Seed: 5,
+	}, func(i int, o int) {
+		if firstEmit.IsZero() {
+			firstEmit = time.Now()
+		}
+		lastEmit = time.Now()
+	})
+	total := lastEmit.Sub(start)
+	early := firstEmit.Sub(start)
+	if early >= total/2 {
+		t.Fatalf("first commit at %v of %v: no streaming overlap", early, total)
+	}
+}

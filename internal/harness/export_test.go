@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{Title: "Sample", Columns: []string{"a", "b"}}
+	t.AddRow("row1", "1", "2")
+	t.AddRow("row2", "3") // short row: missing cell padded in CSV
+	t.AddNote("a note")
+	return t
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Title   string   `json:"title"`
+		Columns []string `json:"columns"`
+		Rows    []struct {
+			Label string   `json:"label"`
+			Cells []string `json:"cells"`
+		} `json:"rows"`
+		Notes []string `json:"notes"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Title != "Sample" || len(decoded.Rows) != 2 || decoded.Rows[0].Cells[1] != "2" {
+		t.Fatalf("decoded: %+v", decoded)
+	}
+	if len(decoded.Notes) != 1 {
+		t.Fatalf("notes: %v", decoded.Notes)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("records: %v", records)
+	}
+	if records[0][0] != "benchmark" || records[0][2] != "b" {
+		t.Fatalf("header: %v", records[0])
+	}
+	if records[2][0] != "row2" || records[2][2] != "" {
+		t.Fatalf("padded row: %v", records[2])
+	}
+}
+
+func TestWriteDispatch(t *testing.T) {
+	for _, format := range []string{"", "text", "json", "csv"} {
+		var buf bytes.Buffer
+		if err := sampleTable().Write(&buf, format); err != nil {
+			t.Fatalf("format %q: %v", format, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("format %q produced nothing", format)
+		}
+	}
+	if err := sampleTable().Write(&bytes.Buffer{}, "yaml"); err == nil ||
+		!strings.Contains(err.Error(), "unknown format") {
+		t.Fatalf("unknown format error: %v", err)
+	}
+}

@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/mathx"
+	"repro/internal/taskgen"
+)
+
+// Fig12Series is one benchmark's speedup-vs-threads curves.
+type Fig12Series struct {
+	Name     string
+	Threads  []int
+	Original []float64
+	SeqSTATS []float64
+	ParSTATS []float64
+}
+
+// Max returns the series' maximum values (the bar graph next to each plot
+// in Fig. 12).
+func (s Fig12Series) Max() (orig, seq, par float64) {
+	return mathx.Max(s.Original), mathx.Max(s.SeqSTATS), mathx.Max(s.ParSTATS)
+}
+
+// Fig12 sweeps hardware threads for the three parallelization approaches.
+// "Original" is the out-of-the-box parallelization; "Seq. STATS" uses only
+// state-dependence TLP (autotuned); "Par. STATS" combines both (autotuned —
+// the default mode of STATS). All speedups are against the single-threaded
+// out-of-the-box benchmark.
+func Fig12(e *Env) []Fig12Series {
+	var out []Fig12Series
+	for _, w := range e.Targets() {
+		s := Fig12Series{Name: w.Desc().Name, Threads: e.Threads}
+		for _, th := range e.Threads {
+			s.Original = append(s.Original, e.OriginalSpeedup(w, th))
+			s.SeqSTATS = append(s.SeqSTATS, e.STATSSpeedup(w, taskgen.SeqSTATS, th))
+			s.ParSTATS = append(s.ParSTATS, e.STATSSpeedup(w, taskgen.ParSTATS, th))
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Fig12Table renders every benchmark's curve plus the max-speedup bars.
+func Fig12Table(e *Env) []*Table {
+	var tables []*Table
+	for _, s := range Fig12(e) {
+		t := &Table{
+			Title:   fmt.Sprintf("Fig. 12 — %s: speedup vs hardware threads", s.Name),
+			Columns: []string{"Original", "Seq. STATS", "Par. STATS"},
+		}
+		for i, th := range s.Threads {
+			t.AddRow(fmt.Sprintf("%d threads", th), F(s.Original[i]), F(s.SeqSTATS[i]), F(s.ParSTATS[i]))
+		}
+		o, q, p := s.Max()
+		t.AddRow("max", F(o), F(q), F(p))
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Fig13 returns the geometric means of the Fig. 12 curves (Fig. 13).
+func Fig13(e *Env) Fig12Series {
+	series := Fig12(e)
+	out := Fig12Series{Name: "geo. mean", Threads: e.Threads}
+	for i := range e.Threads {
+		var o, q, p []float64
+		for _, s := range series {
+			o = append(o, s.Original[i])
+			q = append(q, s.SeqSTATS[i])
+			p = append(p, s.ParSTATS[i])
+		}
+		out.Original = append(out.Original, mathx.GeoMean(o))
+		out.SeqSTATS = append(out.SeqSTATS, mathx.GeoMean(q))
+		out.ParSTATS = append(out.ParSTATS, mathx.GeoMean(p))
+	}
+	return out
+}
+
+// Fig13Table renders Fig. 13.
+func Fig13Table(e *Env) *Table {
+	s := Fig13(e)
+	t := &Table{
+		Title:   "Fig. 13 — Geometric mean of Fig. 12 speedups",
+		Columns: []string{"Original", "Par. STATS"},
+	}
+	for i, th := range s.Threads {
+		t.AddRow(fmt.Sprintf("%d threads", th), F(s.Original[i]), F(s.ParSTATS[i]))
+	}
+	last := len(s.Threads) - 1
+	t.AddNote("paper at 28 threads: Original 7.75x -> Par. STATS 20.01x (+158.2%%); here: %sx -> %sx (+%.1f%%)",
+		F(s.Original[last]), F(s.ParSTATS[last]),
+		100*(s.ParSTATS[last]/s.Original[last]-1))
+	return t
+}

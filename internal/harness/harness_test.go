@@ -1,0 +1,283 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/mathx"
+	"repro/internal/related"
+	"repro/internal/taskgen"
+)
+
+func quickEnv() *Env { return NewEnv(true) }
+
+func TestFig02AllBenchmarksVary(t *testing.T) {
+	e := quickEnv()
+	res := Fig02(e)
+	if len(res) != 7 {
+		t.Fatalf("benchmarks: %d", len(res))
+	}
+	for _, r := range res {
+		if r.Variability <= 0 {
+			t.Fatalf("%s shows no output variability", r.Name)
+		}
+		if r.Source != "race" && r.Source != "prvg" {
+			t.Fatalf("%s: bad variability source %q", r.Name, r.Source)
+		}
+	}
+}
+
+func TestFig03OriginalsUnderIdeal(t *testing.T) {
+	e := quickEnv()
+	for _, r := range Fig03(e) {
+		if r.Speedup <= 1 {
+			t.Fatalf("%s original speedup %v not above sequential", r.Name, r.Speedup)
+		}
+		if r.Speedup > 28 {
+			t.Fatalf("%s original speedup %v above ideal", r.Name, r.Speedup)
+		}
+	}
+}
+
+func TestTable1Shapes(t *testing.T) {
+	e := quickEnv()
+	res, err := Table1(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 6 {
+		t.Fatalf("rows: %d", len(res))
+	}
+	for _, r := range res {
+		// Developer LOC is small; generated code dwarfs it (the
+		// paper's headline for this table).
+		devLOC := r.ComparisonLOC
+		for _, la := range r.TradeoffLOC {
+			devLOC += la[0] + la[1]
+		}
+		if r.GeneratedLOC <= devLOC {
+			t.Fatalf("%s: generated %d not above developer %d", r.Name, r.GeneratedLOC, devLOC)
+		}
+		if r.SizeIncrease <= 0 {
+			t.Fatalf("%s: size increase %v", r.Name, r.SizeIncrease)
+		}
+		if r.ExtraCommitted < 0 || r.ExtraCommitted > 1.5 {
+			t.Fatalf("%s: extra committed %v out of plausible range", r.Name, r.ExtraCommitted)
+		}
+	}
+}
+
+func TestFig12And13Shapes(t *testing.T) {
+	e := quickEnv()
+	series := Fig12(e)
+	byName := map[string]Fig12Series{}
+	for _, s := range series {
+		byName[s.Name] = s
+	}
+	last := len(e.Threads) - 1
+
+	// Headline: Par. STATS beats the original overall at 28 threads.
+	gm := Fig13(e)
+	if gm.ParSTATS[last] <= gm.Original[last] {
+		t.Fatalf("Par. STATS geomean %v not above original %v", gm.ParSTATS[last], gm.Original[last])
+	}
+	boost := gm.ParSTATS[last] / gm.Original[last]
+	if boost < 1.5 {
+		t.Fatalf("STATS boost only %vx; paper's shape is >2x", boost)
+	}
+
+	// fluidanimate: STATS matches the original (aux always aborts and
+	// the tuner falls back to the original TLP).
+	fl := byName["fluidanimate"]
+	if fl.ParSTATS[last] < fl.Original[last]*0.9 {
+		t.Fatalf("fluidanimate Par. STATS %v fell below original %v", fl.ParSTATS[last], fl.Original[last])
+	}
+	if fl.ParSTATS[last] > fl.Original[last]*1.3 {
+		t.Fatalf("fluidanimate gained %v -> %v; the paper shows little/no improvement",
+			fl.Original[last], fl.ParSTATS[last])
+	}
+
+	// swaptions: Seq. STATS underperforms the original at low core
+	// counts, Par. STATS wins at the top end.
+	sw := byName["swaptions"]
+	if sw.SeqSTATS[0] >= sw.Original[0] {
+		t.Fatalf("swaptions Seq. STATS %v should trail original %v at %d threads",
+			sw.SeqSTATS[0], sw.Original[0], e.Threads[0])
+	}
+	if sw.ParSTATS[last] <= sw.Original[last] {
+		t.Fatalf("swaptions Par. STATS %v should beat original %v at 28 threads",
+			sw.ParSTATS[last], sw.Original[last])
+	}
+
+	// bodytrack: state-dependence TLP alone beats the sync-heavy
+	// original parallelization.
+	bt := byName["bodytrack"]
+	if bt.SeqSTATS[last] <= bt.Original[last] {
+		t.Fatalf("bodytrack Seq. STATS %v should beat original %v", bt.SeqSTATS[last], bt.Original[last])
+	}
+
+	// facedet: almost all TLP comes from STATS.
+	fd := byName["facedet"]
+	if fd.ParSTATS[last] < 2*fd.Original[last] {
+		t.Fatalf("facedet STATS %v should dwarf original %v", fd.ParSTATS[last], fd.Original[last])
+	}
+}
+
+func TestFig14HTGains(t *testing.T) {
+	e := quickEnv()
+	res := Fig14(e)
+	var anyGain bool
+	for _, r := range res {
+		if r.ParSTATSHT > r.ParSTATS {
+			anyGain = true
+		}
+		if r.ParSTATSHT < r.ParSTATS*0.95 {
+			t.Fatalf("%s: HT hurt STATS: %v -> %v", r.Name, r.ParSTATS, r.ParSTATSHT)
+		}
+	}
+	if !anyGain {
+		t.Fatal("Hyper-Threading never helped STATS")
+	}
+}
+
+func TestFig15EnergySavings(t *testing.T) {
+	e := quickEnv()
+	for _, r := range Fig15(e) {
+		if r.TimeModePct >= 110 {
+			t.Fatalf("%s: time mode used %v%% of baseline energy", r.Name, r.TimeModePct)
+		}
+		if r.EnergyModePct > r.TimeModePct+1e-9 {
+			t.Fatalf("%s: energy mode (%v%%) worse than time mode (%v%%)", r.Name, r.EnergyModePct, r.TimeModePct)
+		}
+	}
+}
+
+func TestFig16QualityImprovements(t *testing.T) {
+	e := quickEnv()
+	res := Fig16(e)
+	improved := 0
+	for _, r := range res {
+		if r.Improvement > 1.2 {
+			improved++
+		}
+		if r.Factor < 1 {
+			t.Fatalf("%s: factor %v", r.Name, r.Factor)
+		}
+	}
+	// The paper reports three benchmarks with substantial improvements.
+	if improved < 2 {
+		t.Fatalf("only %d benchmarks improved output quality", improved)
+	}
+}
+
+func TestFig17OnlySTATSGeneralizes(t *testing.T) {
+	e := quickEnv()
+	for _, r := range Fig17(e) {
+		stats := r.Par[related.STATS]
+		for _, a := range []related.Approach{related.QuickStepLike, related.HelixUpLike, related.FastTrack} {
+			if r.Name == "swaptions" {
+				continue // breakers legitimately match STATS there
+			}
+			if r.Par[a] > stats*1.05 {
+				t.Fatalf("%s: %s (%v) beat STATS (%v)", r.Name, a, r.Par[a], stats)
+			}
+		}
+	}
+}
+
+func TestFig18PayoffCurve(t *testing.T) {
+	e := quickEnv()
+	pts := Fig18(e)
+	if len(pts) < 3 {
+		t.Fatalf("points: %d", len(pts))
+	}
+	last := pts[len(pts)-1]
+	if last.RelativeSpeedup < 95 {
+		t.Fatalf("encoding all tradeoffs reaches only %v%%", last.RelativeSpeedup)
+	}
+	if pts[0].RelativeSpeedup > last.RelativeSpeedup {
+		t.Fatalf("zero tradeoffs (%v%%) should not beat all (%v%%)", pts[0].RelativeSpeedup, last.RelativeSpeedup)
+	}
+	// Two tradeoffs recover most of the benefit.
+	if pts[2].RelativeSpeedup < 60 {
+		t.Fatalf("two tradeoffs recover only %v%%; paper's shape is ~95%%", pts[2].RelativeSpeedup)
+	}
+}
+
+func TestFig19BadTrainingSmallLoss(t *testing.T) {
+	e := quickEnv()
+	var honest, bad []float64
+	for _, r := range Fig19(e) {
+		honest = append(honest, r.ParSTATS)
+		bad = append(bad, r.BadTraining)
+		// Correctness is guaranteed by the runtime; performance must
+		// stay at least near the conventional level.
+		if r.BadTraining < 0.5*r.Original {
+			t.Fatalf("%s: bad training %v collapsed below original %v", r.Name, r.BadTraining, r.Original)
+		}
+	}
+	// The paper's claim is aggregate: bad training loses only a small
+	// fraction of the tuned performance (per-benchmark results are noisy
+	// at the quick tuning budget).
+	gmH, gmB := mathx.GeoMean(honest), mathx.GeoMean(bad)
+	if gmB > gmH*1.25 {
+		t.Fatalf("bad training geomean %v suspiciously above honest %v", gmB, gmH)
+	}
+	if gmB < gmH*0.5 {
+		t.Fatalf("bad training geomean %v lost too much vs honest %v", gmB, gmH)
+	}
+}
+
+func TestFig20Converges(t *testing.T) {
+	e := quickEnv()
+	sum := Fig20(e)
+	lastPt := sum.Points[len(sum.Points)-1]
+	if lastPt.RelativePct < 99 {
+		t.Fatalf("tuner not converged at the end: %v%%", lastPt.RelativePct)
+	}
+	// Variance shrinks as evaluations accumulate.
+	if sum.Points[0].SeedStdDev < lastPt.SeedStdDev-1e-9 {
+		t.Fatalf("seed variance grew: %v -> %v", sum.Points[0].SeedStdDev, lastPt.SeedStdDev)
+	}
+	if sum.EvalsToBest <= 1 {
+		t.Fatalf("evaluations to best: %v", sum.EvalsToBest)
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	e := quickEnv()
+	var buf bytes.Buffer
+	Fig02Table(e).Render(&buf)
+	Fig03Table(e).Render(&buf)
+	t1, err := Table1Table(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1.Render(&buf)
+	for _, tb := range Fig12Table(e) {
+		tb.Render(&buf)
+	}
+	Fig13Table(e).Render(&buf)
+	Fig14Table(e).Render(&buf)
+	Fig15Table(e).Render(&buf)
+	Fig16Table(e).Render(&buf)
+	Fig17Table(e).Render(&buf)
+	Fig18Table(e).Render(&buf)
+	Fig19Table(e).Render(&buf)
+	Fig20Table(e).Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Fig. 2", "Fig. 3", "Table 1", "Fig. 12", "Fig. 13", "Fig. 14",
+		"Fig. 15", "Fig. 16", "Fig. 17", "Fig. 18", "Fig. 19", "Fig. 20", "geo. mean", "bodytrack"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered output missing %q", want)
+		}
+	}
+}
+
+func TestModeConstantUsage(t *testing.T) {
+	// Guard: the harness relies on taskgen mode ordering.
+	if taskgen.Sequential != 0 || taskgen.ParSTATS != 3 {
+		t.Fatal("taskgen mode constants moved")
+	}
+}

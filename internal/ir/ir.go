@@ -1,0 +1,257 @@
+// Package ir is the intermediate representation shared by the STATS
+// middle-end and back-end compilers (§3.4). The paper extends LLVM IR with
+// metadata tables (in the style of CIL metadata) that describe the state
+// space explicitly; this reproduction defines a compact typed IR with the
+// same observable structure:
+//
+//   - functions, with instructions and a call graph, including tradeoff
+//     placeholder calls (the T_42() calls of Figure 11);
+//   - metadata tables describing tradeoffs (with their getValue functions,
+//     themselves IR, which the back-end "JIT-executes" to resolve an index
+//     to a value) and state dependences (with their compute, auxiliary and
+//     comparison functions).
+package ir
+
+import "fmt"
+
+// Opcode enumerates the instruction kinds the pipeline manipulates. Host
+// computation is opaque (Extern); the pipeline's job is cloning,
+// placeholder substitution, and callee rewiring — exactly the operations
+// the paper's back-end performs.
+type Opcode int
+
+const (
+	// Const materializes a constant value.
+	Const Opcode = iota
+	// Param reads the function's i-th parameter.
+	Param
+	// Add and Mul are the arithmetic getValue functions need.
+	Add
+	Mul
+	// Call invokes another IR function by name.
+	Call
+	// Placeholder is a tradeoff reference: a call to the tradeoff's
+	// placeholder function (T_42(42) in Figure 11). The back-end
+	// replaces it according to the tradeoff's kind.
+	Placeholder
+	// TypeUse marks a variable whose declared type is a Type tradeoff;
+	// the back-end re-types it and inserts casts as needed.
+	TypeUse
+	// Extern stands for opaque host computation.
+	Extern
+	// Ret returns the value produced by instruction Args[0].
+	Ret
+)
+
+// String returns the opcode's name.
+func (o Opcode) String() string {
+	switch o {
+	case Const:
+		return "const"
+	case Param:
+		return "param"
+	case Add:
+		return "add"
+	case Mul:
+		return "mul"
+	case Call:
+		return "call"
+	case Placeholder:
+		return "placeholder"
+	case TypeUse:
+		return "typeuse"
+	case Extern:
+		return "extern"
+	case Ret:
+		return "ret"
+	default:
+		return fmt.Sprintf("Opcode(%d)", int(o))
+	}
+}
+
+// Instr is one instruction. Fields are used per-opcode: Value for Const;
+// Index for Param; Args for Add/Mul/Ret operand instruction indices;
+// Callee for Call; Tradeoff for Placeholder and TypeUse; Name for
+// TypeUse's variable.
+type Instr struct {
+	Op       Opcode
+	Value    int64
+	Index    int
+	Args     []int
+	Callee   string
+	Tradeoff string
+	Name     string
+}
+
+// Function is an IR function.
+type Function struct {
+	Name   string
+	Instrs []Instr
+}
+
+// Clone returns a deep copy of the function under a new name.
+func (f *Function) Clone(name string) *Function {
+	c := &Function{Name: name, Instrs: make([]Instr, len(f.Instrs))}
+	for i, in := range f.Instrs {
+		in.Args = append([]int(nil), in.Args...)
+		c.Instrs[i] = in
+	}
+	return c
+}
+
+// Callees returns the distinct names this function calls.
+func (f *Function) Callees() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, in := range f.Instrs {
+		if in.Op == Call && !seen[in.Callee] {
+			seen[in.Callee] = true
+			out = append(out, in.Callee)
+		}
+	}
+	return out
+}
+
+// TradeoffRefs returns the distinct tradeoffs this function references
+// (placeholders and type uses).
+func (f *Function) TradeoffRefs() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, in := range f.Instrs {
+		if (in.Op == Placeholder || in.Op == TypeUse) && !seen[in.Tradeoff] {
+			seen[in.Tradeoff] = true
+			out = append(out, in.Tradeoff)
+		}
+	}
+	return out
+}
+
+// TradeoffKind mirrors tradeoff.Kind at the IR level.
+type TradeoffKind int
+
+const (
+	// ConstantKind replaces a placeholder call with a constant.
+	ConstantKind TradeoffKind = iota
+	// TypeKind re-types a variable.
+	TypeKind
+	// FunctionKind replaces a placeholder callee.
+	FunctionKind
+)
+
+// TradeoffMeta is one row of the tradeoff metadata table (the TO[] array
+// of Figure 11).
+type TradeoffMeta struct {
+	Name string
+	Kind TradeoffKind
+	// GetValue is the IR function mapping an index to a value id; the
+	// back-end executes it (the paper uses LLVM's dynamic compiler).
+	GetValue string
+	// Size is the number of legal indices (getMaxIndex()).
+	Size int64
+	// Default is getDefaultIndex().
+	Default int64
+	// ValueNames maps value ids to names for Type and Function
+	// tradeoffs (e.g. type names, callee names); nil for constants.
+	ValueNames []string
+	// Aux marks tradeoffs cloned into auxiliary code.
+	Aux bool
+	// ClonedFrom is the original tradeoff's name for aux clones.
+	ClonedFrom string
+}
+
+// DepMeta is one row of the state-dependence metadata table.
+type DepMeta struct {
+	Name    string
+	Input   string
+	State   string
+	Output  string
+	Compute string
+	// AuxCompute is filled by the middle-end: the cloned compute
+	// function that serves as auxiliary code.
+	AuxCompute string
+	// Compare is the state-comparison method ("" when the dependence
+	// needs none).
+	Compare string
+}
+
+// Module is a compilation unit: functions plus metadata.
+type Module struct {
+	Functions map[string]*Function
+	Tradeoffs []TradeoffMeta
+	Deps      []DepMeta
+}
+
+// NewModule returns an empty module.
+func NewModule() *Module {
+	return &Module{Functions: map[string]*Function{}}
+}
+
+// AddFunction inserts f, panicking on duplicates (compiler bug).
+func (m *Module) AddFunction(f *Function) {
+	if _, dup := m.Functions[f.Name]; dup {
+		panic(fmt.Sprintf("ir: duplicate function %s", f.Name))
+	}
+	m.Functions[f.Name] = f
+}
+
+// Tradeoff returns the named tradeoff row and whether it exists.
+func (m *Module) Tradeoff(name string) (*TradeoffMeta, bool) {
+	for i := range m.Tradeoffs {
+		if m.Tradeoffs[i].Name == name {
+			return &m.Tradeoffs[i], true
+		}
+	}
+	return nil, false
+}
+
+// RemoveTradeoff deletes the named row, reporting whether it existed.
+func (m *Module) RemoveTradeoff(name string) bool {
+	for i := range m.Tradeoffs {
+		if m.Tradeoffs[i].Name == name {
+			m.Tradeoffs = append(m.Tradeoffs[:i], m.Tradeoffs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// InstrCount returns the module's total instruction count — the "binary
+// size" proxy Table 1's size-increase column uses.
+func (m *Module) InstrCount() int {
+	n := 0
+	for _, f := range m.Functions {
+		n += len(f.Instrs)
+	}
+	return n
+}
+
+// Eval interprets the named function with the given arguments, supporting
+// the arithmetic subset getValue functions use (Const/Param/Add/Mul/Ret).
+// It returns an error for opaque or malformed functions.
+func (m *Module) Eval(name string, args ...int64) (int64, error) {
+	f, ok := m.Functions[name]
+	if !ok {
+		return 0, fmt.Errorf("ir: no function %s", name)
+	}
+	vals := make([]int64, len(f.Instrs))
+	for i, in := range f.Instrs {
+		switch in.Op {
+		case Const:
+			vals[i] = in.Value
+		case Param:
+			if in.Index < 0 || in.Index >= len(args) {
+				return 0, fmt.Errorf("ir: %s: param %d out of range", name, in.Index)
+			}
+			vals[i] = args[in.Index]
+		case Add:
+			vals[i] = vals[in.Args[0]] + vals[in.Args[1]]
+		case Mul:
+			vals[i] = vals[in.Args[0]] * vals[in.Args[1]]
+		case Ret:
+			return vals[in.Args[0]], nil
+		default:
+			return 0, fmt.Errorf("ir: %s: cannot evaluate opcode %s", name, in.Op)
+		}
+	}
+	return 0, fmt.Errorf("ir: %s: missing return", name)
+}

@@ -1,0 +1,126 @@
+package ir
+
+import "testing"
+
+func TestCloneIsDeep(t *testing.T) {
+	f := &Function{Name: "f", Instrs: []Instr{
+		{Op: Param, Index: 0},
+		{Op: Const, Value: 2},
+		{Op: Add, Args: []int{0, 1}},
+		{Op: Ret, Args: []int{2}},
+	}}
+	c := f.Clone("g")
+	c.Instrs[1].Value = 99
+	c.Instrs[2].Args[0] = 1
+	if f.Instrs[1].Value != 2 || f.Instrs[2].Args[0] != 0 {
+		t.Fatal("clone aliases original")
+	}
+	if c.Name != "g" {
+		t.Fatal("clone name")
+	}
+}
+
+func TestCalleesAndTradeoffRefs(t *testing.T) {
+	f := &Function{Name: "f", Instrs: []Instr{
+		{Op: Call, Callee: "a"},
+		{Op: Call, Callee: "b"},
+		{Op: Call, Callee: "a"},
+		{Op: Placeholder, Tradeoff: "t1"},
+		{Op: TypeUse, Tradeoff: "t2", Name: "v"},
+		{Op: Placeholder, Tradeoff: "t1"},
+	}}
+	if got := f.Callees(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("callees: %v", got)
+	}
+	if got := f.TradeoffRefs(); len(got) != 2 || got[0] != "t1" || got[1] != "t2" {
+		t.Fatalf("tradeoff refs: %v", got)
+	}
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	m := NewModule()
+	// f(x) = (x + 3) * 2
+	m.AddFunction(&Function{Name: "f", Instrs: []Instr{
+		{Op: Param, Index: 0},
+		{Op: Const, Value: 3},
+		{Op: Add, Args: []int{0, 1}},
+		{Op: Const, Value: 2},
+		{Op: Mul, Args: []int{2, 3}},
+		{Op: Ret, Args: []int{4}},
+	}})
+	got, err := m.Eval("f", 5)
+	if err != nil || got != 16 {
+		t.Fatalf("Eval: %d, %v", got, err)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	m := NewModule()
+	m.AddFunction(&Function{Name: "noret", Instrs: []Instr{{Op: Const, Value: 1}}})
+	m.AddFunction(&Function{Name: "opaque", Instrs: []Instr{{Op: Extern}, {Op: Ret, Args: []int{0}}}})
+	m.AddFunction(&Function{Name: "badparam", Instrs: []Instr{{Op: Param, Index: 3}, {Op: Ret, Args: []int{0}}}})
+	if _, err := m.Eval("missing"); err == nil {
+		t.Fatal("missing function")
+	}
+	if _, err := m.Eval("noret"); err == nil {
+		t.Fatal("missing return")
+	}
+	if _, err := m.Eval("opaque"); err == nil {
+		t.Fatal("opaque function")
+	}
+	if _, err := m.Eval("badparam", 1); err == nil {
+		t.Fatal("bad param index")
+	}
+}
+
+func TestModuleTradeoffTable(t *testing.T) {
+	m := NewModule()
+	m.Tradeoffs = append(m.Tradeoffs, TradeoffMeta{Name: "a"}, TradeoffMeta{Name: "b"})
+	if _, ok := m.Tradeoff("a"); !ok {
+		t.Fatal("lookup a")
+	}
+	if _, ok := m.Tradeoff("c"); ok {
+		t.Fatal("lookup c")
+	}
+	if !m.RemoveTradeoff("a") || m.RemoveTradeoff("a") {
+		t.Fatal("remove semantics")
+	}
+	if len(m.Tradeoffs) != 1 || m.Tradeoffs[0].Name != "b" {
+		t.Fatal("table after removal")
+	}
+}
+
+func TestDuplicateFunctionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	m := NewModule()
+	m.AddFunction(&Function{Name: "f"})
+	m.AddFunction(&Function{Name: "f"})
+}
+
+func TestInstrCount(t *testing.T) {
+	m := NewModule()
+	m.AddFunction(&Function{Name: "a", Instrs: make([]Instr, 3)})
+	m.AddFunction(&Function{Name: "b", Instrs: make([]Instr, 4)})
+	if m.InstrCount() != 7 {
+		t.Fatalf("instr count: %d", m.InstrCount())
+	}
+}
+
+func TestOpcodeStrings(t *testing.T) {
+	names := map[Opcode]string{
+		Const: "const", Param: "param", Add: "add", Mul: "mul", Call: "call",
+		Placeholder: "placeholder", TypeUse: "typeuse", Extern: "extern", Ret: "ret",
+	}
+	for op, want := range names {
+		if op.String() != want {
+			t.Fatalf("%v string", op)
+		}
+	}
+	if Opcode(99).String() != "Opcode(99)" {
+		t.Fatal("unknown opcode")
+	}
+}

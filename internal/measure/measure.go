@@ -1,0 +1,56 @@
+// Package measure implements the paper's measurement methodology (§4.1,
+// "Statistics and convergence"): "We run the relevant configuration as many
+// times as necessary to achieve a tight confidence interval where 95% of
+// the measurements are within 5% of the mean."
+package measure
+
+import "repro/internal/mathx"
+
+// Options controls a converging measurement.
+type Options struct {
+	// Frac and Tol define the convergence rule: Frac of the samples must
+	// lie within Tol (relative) of the mean. Defaults: 0.95 and 0.05.
+	Frac float64
+	Tol  float64
+	// MinRuns and MaxRuns bound the repetition (defaults 3 and 100).
+	MinRuns int
+	MaxRuns int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Frac == 0 {
+		o.Frac = 0.95
+	}
+	if o.Tol == 0 {
+		o.Tol = 0.05
+	}
+	if o.MinRuns < 1 {
+		o.MinRuns = 3
+	}
+	if o.MaxRuns < o.MinRuns {
+		o.MaxRuns = 100
+	}
+	return o
+}
+
+// Result reports a converged (or exhausted) measurement.
+type Result struct {
+	Mean      float64
+	StdDev    float64
+	Samples   []float64
+	Converged bool
+}
+
+// Repeat calls sample (which receives the run index, usable as a seed
+// offset) until the convergence rule holds or MaxRuns is reached.
+func Repeat(sample func(run int) float64, o Options) Result {
+	o = o.withDefaults()
+	var xs []float64
+	for run := 0; run < o.MaxRuns; run++ {
+		xs = append(xs, sample(run))
+		if len(xs) >= o.MinRuns && mathx.WithinFraction(xs, o.Frac, o.Tol) {
+			return Result{Mean: mathx.Mean(xs), StdDev: mathx.StdDev(xs), Samples: xs, Converged: true}
+		}
+	}
+	return Result{Mean: mathx.Mean(xs), StdDev: mathx.StdDev(xs), Samples: xs, Converged: false}
+}

@@ -1,0 +1,246 @@
+package midend
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/frontend"
+	"repro/internal/ir"
+)
+
+const fixture = `
+tradeoff TO_layers {
+    kind constant;
+    values 1..10;
+    default 4;
+}
+
+tradeoff TO_weightType {
+    kind type;
+    values half, single, double;
+    default 2;
+}
+
+tradeoff TO_sqrt {
+    kind function;
+    values sqrt_exact, sqrt_newton2;
+    default 0;
+}
+
+statedep track {
+    input Frame;
+    state Model;
+    output Pos;
+    compute updateModel uses TO_layers, TO_weightType, TO_sqrt;
+    compare cmp;
+}
+`
+
+func lower(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	fo, err := frontend.Translate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Lower(fo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestAuxCloneCreated(t *testing.T) {
+	m := lower(t, fixture)
+	if len(m.Deps) != 1 {
+		t.Fatalf("deps: %d", len(m.Deps))
+	}
+	d := m.Deps[0]
+	if d.AuxCompute != "updateModel$aux$track" {
+		t.Fatalf("aux compute: %q", d.AuxCompute)
+	}
+	if _, ok := m.Functions[d.AuxCompute]; !ok {
+		t.Fatal("aux function missing")
+	}
+	// The original compute function survives.
+	if _, ok := m.Functions["updateModel"]; !ok {
+		t.Fatal("original compute missing")
+	}
+}
+
+func TestTransitiveCloningThroughKernel(t *testing.T) {
+	m := lower(t, fixture)
+	// The kernel helper holds tradeoffs 2..n, so it must be cloned.
+	if _, ok := m.Functions["updateModel$kernel$aux$track"]; !ok {
+		t.Fatal("kernel not cloned")
+	}
+	// The tradeoff-free library helper must NOT be cloned.
+	if _, ok := m.Functions["updateModel$lib$aux$track"]; ok {
+		t.Fatal("tradeoff-free helper was cloned")
+	}
+	// The aux compute must call the cloned kernel and the shared lib.
+	aux := m.Functions["updateModel$aux$track"]
+	callees := aux.Callees()
+	var hasKernelClone, hasSharedLib bool
+	for _, c := range callees {
+		if c == "updateModel$kernel$aux$track" {
+			hasKernelClone = true
+		}
+		if c == "updateModel$lib" {
+			hasSharedLib = true
+		}
+	}
+	if !hasKernelClone || !hasSharedLib {
+		t.Fatalf("aux callees: %v", callees)
+	}
+}
+
+func TestTradeoffsClonedForAux(t *testing.T) {
+	m := lower(t, fixture)
+	for _, name := range []string{"TO_layers$aux$track", "TO_weightType$aux$track", "TO_sqrt$aux$track"} {
+		tm, ok := m.Tradeoff(name)
+		if !ok {
+			t.Fatalf("missing aux tradeoff %s", name)
+		}
+		if !tm.Aux {
+			t.Fatalf("%s not marked aux", name)
+		}
+		if tm.ClonedFrom == "" {
+			t.Fatalf("%s missing provenance", name)
+		}
+	}
+}
+
+func TestOriginalTradeoffsPinnedAndDeleted(t *testing.T) {
+	m := lower(t, fixture)
+	// Original rows are gone; only aux rows remain.
+	for _, tm := range m.Tradeoffs {
+		if !tm.Aux {
+			t.Fatalf("non-aux tradeoff %s survived", tm.Name)
+		}
+	}
+	// The original compute's placeholder became the default constant
+	// (layers default index 4 -> value 5).
+	orig := m.Functions["updateModel"]
+	foundConst := false
+	for _, in := range orig.Instrs {
+		if in.Op == ir.Placeholder || in.Op == ir.TypeUse {
+			t.Fatalf("unpinned reference in original: %+v", in)
+		}
+		if in.Op == ir.Const && in.Value == 5 {
+			foundConst = true
+		}
+	}
+	if !foundConst {
+		t.Fatal("pinned constant missing")
+	}
+	// The function tradeoff's placeholder in the original kernel became
+	// a direct call to the default implementation.
+	kernel := m.Functions["updateModel$kernel"]
+	callsDefault := false
+	for _, in := range kernel.Instrs {
+		if in.Op == ir.Call && in.Callee == "sqrt_exact" {
+			callsDefault = true
+		}
+	}
+	if !callsDefault {
+		t.Fatal("function tradeoff not pinned to default callee")
+	}
+}
+
+func TestAuxRefsPointToClonedTradeoffs(t *testing.T) {
+	m := lower(t, fixture)
+	aux := m.Functions["updateModel$aux$track"]
+	refs := aux.TradeoffRefs()
+	for _, r := range refs {
+		if !strings.HasSuffix(r, "$aux$track") {
+			t.Fatalf("aux references original tradeoff %s", r)
+		}
+	}
+	if len(refs) == 0 {
+		t.Fatal("aux compute references no tradeoffs")
+	}
+}
+
+func TestGetValueFunctionsEvaluable(t *testing.T) {
+	m := lower(t, fixture)
+	tm, _ := m.Tradeoff("TO_layers$aux$track")
+	v, err := m.Eval(tm.GetValue, 0)
+	if err != nil || v != 1 {
+		t.Fatalf("getValue(0): %d, %v", v, err)
+	}
+	v, err = m.Eval(tm.GetValue, 9)
+	if err != nil || v != 10 {
+		t.Fatalf("getValue(9): %d, %v", v, err)
+	}
+}
+
+func TestFunctionTradeoffCandidatesDeclared(t *testing.T) {
+	m := lower(t, fixture)
+	for _, fn := range []string{"sqrt_exact", "sqrt_newton2"} {
+		if _, ok := m.Functions[fn]; !ok {
+			t.Fatalf("candidate callee %s missing", fn)
+		}
+	}
+}
+
+func TestTwoDepsShareNothing(t *testing.T) {
+	src := fixture + `
+statedep second {
+    input I2;
+    state S2;
+    output O2;
+    compute other uses TO_layers;
+}
+`
+	m := lower(t, src)
+	if len(m.Deps) != 2 {
+		t.Fatalf("deps: %d", len(m.Deps))
+	}
+	// Each dependence gets its own aux clone and tradeoff clones.
+	if _, ok := m.Tradeoff("TO_layers$aux$second"); !ok {
+		t.Fatal("second dep's tradeoff clone missing")
+	}
+	if _, ok := m.Functions["other$aux$second"]; !ok {
+		t.Fatal("second dep's aux clone missing")
+	}
+}
+
+func TestDuplicateComputeRejected(t *testing.T) {
+	src := fixture + `
+statedep dup {
+    input I;
+    state S;
+    output O;
+    compute updateModel;
+}
+`
+	fo, err := frontend.Translate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lower(fo); err == nil {
+		t.Fatal("duplicate compute accepted")
+	}
+}
+
+func TestInstrCountGrows(t *testing.T) {
+	// Auxiliary code adds instructions: the Table 1 "binary size
+	// increase" effect.
+	fo, err := frontend.Translate(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Lower(fo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline: same program without aux generation is not directly
+	// constructible here, but the clone functions must add bulk.
+	aux := m.Functions["updateModel$aux$track"]
+	if len(aux.Instrs) == 0 {
+		t.Fatal("aux clone empty")
+	}
+	if m.InstrCount() <= 2*len(aux.Instrs) {
+		t.Fatalf("module suspiciously small: %d instrs", m.InstrCount())
+	}
+}

@@ -1,0 +1,54 @@
+package platform
+
+import "testing"
+
+// Simulator micro-benchmarks: the discrete-event scheduler's throughput,
+// which bounds how many configurations the autotuner can profile per
+// second.
+
+func benchGraph(stages, width int) *Graph {
+	g := &Graph{}
+	prev := -1
+	for s := 0; s < stages; s++ {
+		forks := make([]int, width)
+		for w := 0; w < width; w++ {
+			if prev < 0 {
+				forks[w] = g.Add(1)
+			} else {
+				forks[w] = g.Add(1, prev)
+			}
+		}
+		prev = g.Add(0.1, forks...)
+	}
+	return g
+}
+
+func BenchmarkSimulateNarrow(b *testing.B) {
+	m := Haswell28(false)
+	g := benchGraph(64, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Simulate(m, g, 8)
+	}
+}
+
+func BenchmarkSimulateWide(b *testing.B) {
+	m := Haswell28(false)
+	g := benchGraph(64, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Simulate(m, g, 28)
+	}
+}
+
+func BenchmarkSimulateCriticalPathFirst(b *testing.B) {
+	m := Haswell28(false)
+	g := benchGraph(64, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SimulateWithPolicy(m, g, 28, CriticalPathFirst)
+	}
+}

@@ -1,0 +1,437 @@
+// Package platform is a deterministic discrete-event simulator of the
+// paper's evaluation machine: a dual-socket Intel Xeon E5-2695 v3 with 14
+// cores per socket, 2-way Hyper-Threading, and a NUMA memory system (§4.1).
+//
+// The evaluation sweeps hardware-thread counts from 2 to 28 (Figs. 3,
+// 12-14), which cannot be reproduced faithfully on an arbitrary host. The
+// simulator substitutes for the testbed: workloads express their execution
+// as task graphs (nodes with abstract work, edges for dependences), and the
+// simulator schedules a graph onto a configurable number of hardware
+// threads, modeling
+//
+//   - Hyper-Threading: two hardware threads sharing a core each run at a
+//     fraction of full speed, so a fully HT-shared core yields ~1.3× a
+//     single thread — the ~30% Intel guidance the paper cites (§4.3);
+//   - NUMA: a task executing on a socket other than its data's home socket
+//     runs at a penalty, producing the paper's sub-linear multi-socket
+//     scaling ("The multi-socket effect");
+//   - per-interval occupancy traces, from which the energy model integrates
+//     power.
+package platform
+
+import (
+	"fmt"
+	"math"
+)
+
+// Policy selects the list-scheduling order.
+type Policy int
+
+const (
+	// FIFO runs ready tasks in creation order (the default).
+	FIFO Policy = iota
+	// CriticalPathFirst prefers the ready task with the longest
+	// work-weighted path to a sink, the classic HLF/CP list-scheduling
+	// heuristic.
+	CriticalPathFirst
+)
+
+// Machine describes the simulated platform.
+type Machine struct {
+	// Sockets and CoresPerSocket define the core topology.
+	Sockets        int
+	CoresPerSocket int
+	// HyperThreads is the number of hardware threads per core (1 = HT
+	// off, 2 = HT on).
+	HyperThreads int
+	// HTFactor is the per-thread execution rate when the core's sibling
+	// thread is busy. 0.65 makes a shared core deliver 1.3× one thread.
+	HTFactor float64
+	// NUMAPenalty is the execution-rate multiplier for a task running on
+	// a socket other than its home socket.
+	NUMAPenalty float64
+}
+
+// Haswell28 returns the paper's platform: 2 sockets × 14 cores. Hyper-
+// Threading is configured per-experiment ("Hyper-Threading is turned off
+// for all experiments unless explicitly specified").
+func Haswell28(ht bool) Machine {
+	threads := 1
+	if ht {
+		threads = 2
+	}
+	return Machine{
+		Sockets:        2,
+		CoresPerSocket: 14,
+		HyperThreads:   threads,
+		HTFactor:       0.65,
+		NUMAPenalty:    0.82,
+	}
+}
+
+// SingleSocket14 returns one socket of the paper's platform, used by the
+// Hyper-Threading study (Fig. 14).
+func SingleSocket14(ht bool) Machine {
+	m := Haswell28(ht)
+	m.Sockets = 1
+	return m
+}
+
+// TotalThreads returns the number of hardware threads the machine exposes.
+func (m Machine) TotalThreads() int {
+	return m.Sockets * m.CoresPerSocket * m.HyperThreads
+}
+
+// hwThread is the placement of one hardware thread.
+type hwThread struct {
+	socket  int
+	core    int // global core index
+	sibling int // index of the sibling hardware thread, -1 if none
+}
+
+// enumerate returns the machine's hardware threads in allocation order:
+// all primary threads of socket 0's cores, then socket 1's, and only then
+// the Hyper-Thread siblings. This mirrors the paper's thread pinning, where
+// an application stays on one socket until it outgrows it and HT siblings
+// are used last.
+func (m Machine) enumerate() []hwThread {
+	cores := m.Sockets * m.CoresPerSocket
+	var threads []hwThread
+	for s := 0; s < m.Sockets; s++ {
+		for c := 0; c < m.CoresPerSocket; c++ {
+			threads = append(threads, hwThread{socket: s, core: s*m.CoresPerSocket + c})
+		}
+	}
+	if m.HyperThreads > 1 {
+		for s := 0; s < m.Sockets; s++ {
+			for c := 0; c < m.CoresPerSocket; c++ {
+				core := s*m.CoresPerSocket + c
+				threads = append(threads, hwThread{socket: s, core: core, sibling: core})
+			}
+		}
+		// Fix up sibling links: primary i and secondary cores+i share core i.
+		for i := 0; i < cores; i++ {
+			threads[i].sibling = cores + i
+			threads[cores+i].sibling = i
+		}
+	} else {
+		for i := range threads {
+			threads[i].sibling = -1
+		}
+	}
+	return threads
+}
+
+// Task is a node of a task graph: an amount of abstract work plus the tasks
+// that must complete before it starts.
+type Task struct {
+	Work float64
+	Deps []int
+	// Home is the socket holding the task's data; -1 means no affinity.
+	Home int
+}
+
+// Graph is a dependence graph of tasks. Build it with Add.
+type Graph struct {
+	Tasks []Task
+}
+
+// Add appends a task and returns its id.
+func (g *Graph) Add(work float64, deps ...int) int {
+	return g.AddHomed(work, -1, deps...)
+}
+
+// AddHomed appends a task with a home socket and returns its id.
+func (g *Graph) AddHomed(work float64, home int, deps ...int) int {
+	for _, d := range deps {
+		if d < 0 || d >= len(g.Tasks) {
+			panic(fmt.Sprintf("platform: dep %d out of range", d))
+		}
+	}
+	g.Tasks = append(g.Tasks, Task{Work: work, Deps: append([]int(nil), deps...), Home: home})
+	return len(g.Tasks) - 1
+}
+
+// TotalWork returns the sum of all task work.
+func (g *Graph) TotalWork() float64 {
+	sum := 0.0
+	for _, t := range g.Tasks {
+		sum += t.Work
+	}
+	return sum
+}
+
+// CriticalPath returns the longest work-weighted path through the graph,
+// the lower bound on makespan at infinite parallelism.
+func (g *Graph) CriticalPath() float64 {
+	longest := make([]float64, len(g.Tasks))
+	best := 0.0
+	// Tasks reference only earlier ids (Add validates), so one pass works.
+	for i, t := range g.Tasks {
+		start := 0.0
+		for _, d := range t.Deps {
+			if longest[d] > start {
+				start = longest[d]
+			}
+		}
+		longest[i] = start + t.Work
+		if longest[i] > best {
+			best = longest[i]
+		}
+	}
+	return best
+}
+
+// Interval is a span of simulated time with constant occupancy, used by the
+// energy model.
+type Interval struct {
+	Start, End float64
+	// BusyThreads is the number of busy hardware threads during the span.
+	BusyThreads int
+	// BusyCores is the number of cores with at least one busy thread.
+	BusyCores int
+	// ActiveSockets is the number of sockets with at least one busy core.
+	ActiveSockets int
+}
+
+// Assignment records where and when one task executed.
+type Assignment struct {
+	Task   int
+	Thread int
+	Start  float64
+	End    float64
+}
+
+// Result reports a simulation.
+type Result struct {
+	// Makespan is the simulated wall-clock time to drain the graph.
+	Makespan float64
+	// BusyWork is the total work executed (equals the graph's TotalWork).
+	BusyWork float64
+	// Intervals is the occupancy trace for energy integration.
+	Intervals []Interval
+	// Assignments is the per-task schedule (zero-work tasks are omitted).
+	Assignments []Assignment
+	// ThreadsUsed is the number of hardware threads made available.
+	ThreadsUsed int
+}
+
+const workEpsilon = 1e-9
+
+// Simulate schedules g on the first `threads` hardware threads of m (in
+// enumeration order) with greedy FIFO list scheduling and returns the
+// resulting makespan and occupancy trace. It panics if threads is not
+// positive or the graph has an unsatisfiable dependence.
+func Simulate(m Machine, g *Graph, threads int) Result {
+	return SimulateWithPolicy(m, g, threads, FIFO)
+}
+
+// SimulateWithPolicy is Simulate under an explicit scheduling policy.
+func SimulateWithPolicy(m Machine, g *Graph, threads int, policy Policy) Result {
+	if threads < 1 {
+		panic("platform: threads must be positive")
+	}
+	if max := m.TotalThreads(); threads > max {
+		threads = max
+	}
+	hw := m.enumerate()[:threads]
+
+	n := len(g.Tasks)
+	remaining := make([]float64, n)
+	indegree := make([]int, n)
+	children := make([][]int, n)
+	for i, t := range g.Tasks {
+		remaining[i] = t.Work
+		indegree[i] = len(t.Deps)
+		for _, d := range t.Deps {
+			children[d] = append(children[d], i)
+		}
+	}
+
+	// Bottom level (work-weighted longest path to a sink) per task, the
+	// CriticalPathFirst priority. Tasks only reference earlier ids, so a
+	// reverse pass suffices.
+	var bottom []float64
+	if policy == CriticalPathFirst {
+		bottom = make([]float64, n)
+		for i := n - 1; i >= 0; i-- {
+			best := 0.0
+			for _, c := range children[i] {
+				if bottom[c] > best {
+					best = bottom[c]
+				}
+			}
+			bottom[i] = best + g.Tasks[i].Work
+		}
+	}
+
+	// ready is the runnable-task queue; runningOn[t] is the task a
+	// hardware thread runs, or -1.
+	var ready []int
+	for i := range g.Tasks {
+		if indegree[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	// pop removes the next task per the policy.
+	pop := func() int {
+		best := 0
+		if policy == CriticalPathFirst {
+			for i := 1; i < len(ready); i++ {
+				if bottom[ready[i]] > bottom[ready[best]] {
+					best = i
+				}
+			}
+		}
+		task := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		return task
+	}
+	runningOn := make([]int, threads)
+	startedAt := make([]float64, threads)
+	for i := range runningOn {
+		runningOn[i] = -1
+	}
+
+	res := Result{BusyWork: g.TotalWork(), ThreadsUsed: threads}
+	now := 0.0
+	completed := 0
+
+	assign := func() {
+		for len(ready) > 0 {
+			// Peek per policy; only dequeue once a slot exists.
+			slot := -1
+			peek := 0
+			if policy == CriticalPathFirst {
+				for i := 1; i < len(ready); i++ {
+					if bottom[ready[i]] > bottom[ready[peek]] {
+						peek = i
+					}
+				}
+			}
+			task := ready[peek]
+			// Prefer an idle thread on the task's home socket.
+			home := g.Tasks[task].Home
+			for ti := range runningOn {
+				if runningOn[ti] != -1 {
+					continue
+				}
+				if home >= 0 && hw[ti].socket == home {
+					slot = ti
+					break
+				}
+				if slot == -1 {
+					slot = ti
+				}
+			}
+			if slot == -1 {
+				return
+			}
+			popped := pop()
+			task = popped
+			if remaining[task] <= workEpsilon {
+				// Zero-work task (pure synchronization): complete
+				// immediately and release children without
+				// occupying the thread.
+				completeTask(task, &ready, children, indegree)
+				completed++
+				continue
+			}
+			runningOn[slot] = task
+			startedAt[slot] = now
+		}
+	}
+
+	rate := func(ti int) float64 {
+		r := 1.0
+		t := hw[ti]
+		if t.sibling >= 0 && t.sibling < threads && runningOn[t.sibling] != -1 {
+			r *= m.HTFactor
+		}
+		task := g.Tasks[runningOn[ti]]
+		if task.Home >= 0 && task.Home != t.socket {
+			r *= m.NUMAPenalty
+		}
+		return r
+	}
+
+	for completed < n {
+		assign()
+		// Find the next completion.
+		dt := math.Inf(1)
+		anyRunning := false
+		for ti := range runningOn {
+			if runningOn[ti] == -1 {
+				continue
+			}
+			anyRunning = true
+			if d := remaining[runningOn[ti]] / rate(ti); d < dt {
+				dt = d
+			}
+		}
+		if !anyRunning {
+			if completed < n {
+				panic("platform: deadlock — graph has an unsatisfiable dependence")
+			}
+			break
+		}
+		// Record the occupancy interval.
+		busyThreads := 0
+		busyCores := map[int]bool{}
+		busySockets := map[int]bool{}
+		for ti := range runningOn {
+			if runningOn[ti] != -1 {
+				busyThreads++
+				busyCores[hw[ti].core] = true
+				busySockets[hw[ti].socket] = true
+			}
+		}
+		res.Intervals = append(res.Intervals, Interval{
+			Start: now, End: now + dt,
+			BusyThreads:   busyThreads,
+			BusyCores:     len(busyCores),
+			ActiveSockets: len(busySockets),
+		})
+		// Advance time and drain work.
+		now += dt
+		for ti := range runningOn {
+			task := runningOn[ti]
+			if task == -1 {
+				continue
+			}
+			remaining[task] -= dt * rate(ti)
+			if remaining[task] <= workEpsilon {
+				runningOn[ti] = -1
+				res.Assignments = append(res.Assignments, Assignment{
+					Task: task, Thread: ti, Start: startedAt[ti], End: now,
+				})
+				completeTask(task, &ready, children, indegree)
+				completed++
+			}
+		}
+	}
+	res.Makespan = now
+	return res
+}
+
+func completeTask(task int, ready *[]int, children [][]int, indegree []int) {
+	for _, c := range children[task] {
+		indegree[c]--
+		if indegree[c] == 0 {
+			*ready = append(*ready, c)
+		}
+	}
+}
+
+// Speedup returns the ratio of the graph's single-thread makespan to its
+// makespan at the given thread count — the paper's speedup definition
+// ("computed using the single-threaded version ... as baseline" is applied
+// by callers that pass the baseline graph explicitly).
+func Speedup(m Machine, baseline, parallel *Graph, threads int) float64 {
+	t1 := Simulate(m, baseline, 1).Makespan
+	tn := Simulate(m, parallel, threads).Makespan
+	if tn == 0 {
+		return math.Inf(1)
+	}
+	return t1 / tn
+}

@@ -1,0 +1,336 @@
+package platform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func chainGraph(n int, work float64) *Graph {
+	g := &Graph{}
+	prev := -1
+	for i := 0; i < n; i++ {
+		if prev < 0 {
+			prev = g.Add(work)
+		} else {
+			prev = g.Add(work, prev)
+		}
+	}
+	return g
+}
+
+func parallelGraph(n int, work float64) *Graph {
+	g := &Graph{}
+	for i := 0; i < n; i++ {
+		g.Add(work)
+	}
+	return g
+}
+
+func TestMachineTopology(t *testing.T) {
+	m := Haswell28(false)
+	if m.TotalThreads() != 28 {
+		t.Fatalf("threads: %d", m.TotalThreads())
+	}
+	if Haswell28(true).TotalThreads() != 56 {
+		t.Fatal("HT threads")
+	}
+	if SingleSocket14(true).TotalThreads() != 28 {
+		t.Fatal("single socket HT threads")
+	}
+}
+
+func TestChainIsSequential(t *testing.T) {
+	m := Haswell28(false)
+	g := chainGraph(10, 1)
+	r1 := Simulate(m, g, 1)
+	r28 := Simulate(m, g, 28)
+	if r1.Makespan != 10 || r28.Makespan != 10 {
+		t.Fatalf("chain makespans: %v, %v", r1.Makespan, r28.Makespan)
+	}
+}
+
+func TestEmbarrassinglyParallelScalesLinearly(t *testing.T) {
+	m := Haswell28(false)
+	g := parallelGraph(28, 1)
+	if r := Simulate(m, g, 1); r.Makespan != 28 {
+		t.Fatalf("1 thread: %v", r.Makespan)
+	}
+	if r := Simulate(m, g, 14); r.Makespan != 2 {
+		t.Fatalf("14 threads: %v", r.Makespan)
+	}
+	// 28 threads spans two sockets; tasks have no home so no NUMA penalty.
+	if r := Simulate(m, g, 28); r.Makespan != 1 {
+		t.Fatalf("28 threads: %v", r.Makespan)
+	}
+}
+
+func TestLoadImbalance(t *testing.T) {
+	// 34 equal tasks on 28 threads need two waves: the swaptions effect.
+	m := Haswell28(false)
+	g := parallelGraph(34, 1)
+	r := Simulate(m, g, 28)
+	if r.Makespan != 2 {
+		t.Fatalf("34 tasks on 28 threads: %v", r.Makespan)
+	}
+}
+
+func TestHyperThreadingSharedCoreRate(t *testing.T) {
+	m := SingleSocket14(true)
+	// 2 tasks on 1 core (2 HT threads): both run at HTFactor.
+	g := parallelGraph(2, 1)
+	// Thread allocation order puts the first 14 threads on distinct
+	// cores, so ask for exactly the sibling pair by restricting cores.
+	m.CoresPerSocket = 1
+	r := Simulate(m, g, 2)
+	want := 1 / m.HTFactor
+	if math.Abs(r.Makespan-want) > 1e-9 {
+		t.Fatalf("HT shared-core makespan %v, want %v", r.Makespan, want)
+	}
+	// Combined throughput 2/1.538 = 1.3x one thread.
+	solo := Simulate(m, g, 1)
+	gain := solo.Makespan / r.Makespan
+	if math.Abs(gain-2*m.HTFactor) > 1e-9 {
+		t.Fatalf("HT gain %v, want %v", gain, 2*m.HTFactor)
+	}
+}
+
+func TestHTSiblingsUsedLast(t *testing.T) {
+	m := SingleSocket14(true)
+	g := parallelGraph(14, 1)
+	// 14 tasks on 14 threads: all on distinct cores, no HT sharing.
+	r := Simulate(m, g, 14)
+	if r.Makespan != 1 {
+		t.Fatalf("14 tasks on 14 cores with HT available: %v", r.Makespan)
+	}
+}
+
+func TestNUMAPenaltyApplied(t *testing.T) {
+	m := Haswell28(false)
+	g := &Graph{}
+	g.AddHomed(1, 0) // data on socket 0
+	// One thread (on socket 0): full speed.
+	if r := Simulate(m, g, 1); r.Makespan != 1 {
+		t.Fatalf("local: %v", r.Makespan)
+	}
+	// Force remote: single-socket-1 machine cannot be built directly, so
+	// check via a 15-thread run with 15 homed tasks — the 15th lands on
+	// socket 1 and runs slower, stretching the makespan.
+	g2 := &Graph{}
+	for i := 0; i < 15; i++ {
+		g2.AddHomed(1, 0)
+	}
+	r := Simulate(m, g2, 15)
+	want := 1 / m.NUMAPenalty
+	if math.Abs(r.Makespan-want) > 1e-9 {
+		t.Fatalf("remote task makespan %v, want %v", r.Makespan, want)
+	}
+}
+
+func TestHomePreferencePlacesLocally(t *testing.T) {
+	m := Haswell28(false)
+	// A single homed task with threads spanning both sockets must still
+	// run at full speed (placed on its home socket).
+	g := &Graph{}
+	g.AddHomed(1, 1)
+	r := Simulate(m, g, 28)
+	if r.Makespan != 1 {
+		t.Fatalf("homed task not placed locally: %v", r.Makespan)
+	}
+}
+
+func TestZeroWorkSyncTasks(t *testing.T) {
+	m := Haswell28(false)
+	g := &Graph{}
+	a := g.Add(1)
+	b := g.Add(1)
+	barrier := g.Add(0, a, b)
+	g.Add(1, barrier)
+	r := Simulate(m, g, 4)
+	if r.Makespan != 2 {
+		t.Fatalf("barrier graph makespan: %v", r.Makespan)
+	}
+}
+
+func TestDiamondGraph(t *testing.T) {
+	m := Haswell28(false)
+	g := &Graph{}
+	src := g.Add(1)
+	l := g.Add(2, src)
+	rr := g.Add(3, src)
+	g.Add(1, l, rr)
+	r := Simulate(m, g, 4)
+	// 1 + max(2,3) + 1 = 5.
+	if r.Makespan != 5 {
+		t.Fatalf("diamond makespan: %v", r.Makespan)
+	}
+	if got := g.CriticalPath(); got != 5 {
+		t.Fatalf("critical path: %v", got)
+	}
+}
+
+func TestCriticalPathAndTotalWork(t *testing.T) {
+	g := chainGraph(5, 2)
+	if g.CriticalPath() != 10 || g.TotalWork() != 10 {
+		t.Fatal("chain metrics")
+	}
+	p := parallelGraph(5, 2)
+	if p.CriticalPath() != 2 || p.TotalWork() != 10 {
+		t.Fatal("parallel metrics")
+	}
+}
+
+func TestIntervalsCoverMakespan(t *testing.T) {
+	m := Haswell28(false)
+	g := parallelGraph(10, 1.5)
+	r := Simulate(m, g, 4)
+	if len(r.Intervals) == 0 {
+		t.Fatal("no intervals")
+	}
+	last := 0.0
+	for _, iv := range r.Intervals {
+		if math.Abs(iv.Start-last) > 1e-9 {
+			t.Fatalf("gap in intervals at %v", iv.Start)
+		}
+		if iv.End < iv.Start {
+			t.Fatalf("inverted interval %+v", iv)
+		}
+		if iv.BusyThreads < 1 || iv.BusyThreads > 4 {
+			t.Fatalf("busy threads %d", iv.BusyThreads)
+		}
+		last = iv.End
+	}
+	if math.Abs(last-r.Makespan) > 1e-9 {
+		t.Fatalf("intervals end at %v, makespan %v", last, r.Makespan)
+	}
+}
+
+func TestBusyWorkConservedProperty(t *testing.T) {
+	// The integral of busy threads over time equals total work when no
+	// HT sharing or NUMA penalties apply.
+	f := func(seedTasks, seedThreads uint8) bool {
+		nTasks := int(seedTasks)%20 + 1
+		threads := int(seedThreads)%14 + 1 // stay on socket 0
+		m := Haswell28(false)
+		g := parallelGraph(nTasks, 2)
+		r := Simulate(m, g, threads)
+		integral := 0.0
+		for _, iv := range r.Intervals {
+			integral += (iv.End - iv.Start) * float64(iv.BusyThreads)
+		}
+		return math.Abs(integral-g.TotalWork()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakespanMonotoneInThreadsProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		n := int(seed)%30 + 2
+		m := Haswell28(false)
+		g := parallelGraph(n, 1)
+		prev := math.Inf(1)
+		for th := 1; th <= 14; th += 3 {
+			ms := Simulate(m, g, th).Makespan
+			if ms > prev+1e-9 {
+				return false
+			}
+			prev = ms
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulatePanicsOnBadThreads(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 0 threads")
+		}
+	}()
+	Simulate(Haswell28(false), parallelGraph(1, 1), 0)
+}
+
+func TestAddHomedValidatesDeps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for bad dep")
+		}
+	}()
+	g := &Graph{}
+	g.Add(1, 5)
+}
+
+func TestThreadsClampedToMachine(t *testing.T) {
+	m := Haswell28(false)
+	g := parallelGraph(60, 1)
+	r := Simulate(m, g, 100)
+	if r.ThreadsUsed != 28 {
+		t.Fatalf("threads used: %d", r.ThreadsUsed)
+	}
+}
+
+func TestSpeedupHelper(t *testing.T) {
+	m := Haswell28(false)
+	g := parallelGraph(28, 1)
+	s := Speedup(m, g, g, 28)
+	if math.Abs(s-28) > 1e-9 {
+		t.Fatalf("speedup: %v", s)
+	}
+}
+
+func TestCriticalPathFirstBeatsFIFOOnSkewedGraph(t *testing.T) {
+	// One long chain plus filler tasks: FIFO (creation order) starts the
+	// filler first and delays the chain; CP-first starts the chain
+	// immediately.
+	g := &Graph{}
+	var fillers []int
+	for i := 0; i < 3; i++ {
+		fillers = append(fillers, g.Add(2))
+	}
+	_ = fillers
+	chain := g.Add(2)
+	for i := 0; i < 5; i++ {
+		chain = g.Add(2, chain)
+	}
+	m := Haswell28(false)
+	fifo := SimulateWithPolicy(m, g, 2, FIFO)
+	cp := SimulateWithPolicy(m, g, 2, CriticalPathFirst)
+	if cp.Makespan > fifo.Makespan {
+		t.Fatalf("CP-first (%v) worse than FIFO (%v)", cp.Makespan, fifo.Makespan)
+	}
+	if cp.Makespan >= 13 {
+		t.Fatalf("CP-first should start the chain immediately: %v", cp.Makespan)
+	}
+}
+
+func TestPoliciesAgreeOnUniformGraphs(t *testing.T) {
+	m := Haswell28(false)
+	g := parallelGraph(20, 1)
+	fifo := SimulateWithPolicy(m, g, 7, FIFO)
+	cp := SimulateWithPolicy(m, g, 7, CriticalPathFirst)
+	if fifo.Makespan != cp.Makespan {
+		t.Fatalf("uniform graph: %v vs %v", fifo.Makespan, cp.Makespan)
+	}
+}
+
+func TestPolicyWorkConserved(t *testing.T) {
+	g := &Graph{}
+	src := g.Add(1)
+	for i := 0; i < 9; i++ {
+		g.Add(1.5, src)
+	}
+	for _, pol := range []Policy{FIFO, CriticalPathFirst} {
+		res := SimulateWithPolicy(Haswell28(false), g, 4, pol)
+		busy := 0.0
+		for _, a := range res.Assignments {
+			busy += a.End - a.Start
+		}
+		if busy < g.TotalWork()-1e-9 || busy > g.TotalWork()+1e-9 {
+			t.Fatalf("policy %d: busy %v, want %v", pol, busy, g.TotalWork())
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package pool implements the STATS runtime's shared worker pool (§3.4,
+// "Runtime"): "an efficient thread pool implementation (shared with all state
+// dependences) to minimize thread creation overhead".
+//
+// Workers are goroutines started once per pool; tasks are submitted to a
+// channel and executed FIFO per worker. The pool supports bounded width so
+// the evaluation harness can constrain the number of "hardware threads"
+// available to the runtime, mirroring the paper's thread sweeps.
+package pool
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrClosed is returned by Submit after Close has been called.
+var ErrClosed = errors.New("pool: closed")
+
+// Task is a unit of work executed by a pool worker.
+type Task func()
+
+// Pool is a fixed-width worker pool. The zero value is not usable; call New.
+type Pool struct {
+	tasks   chan Task
+	wg      sync.WaitGroup
+	workers int
+
+	// mu is held for reading across every send on tasks and for writing
+	// while Close closes the channel, so a Submit can never race a Close
+	// into a send-on-closed-channel panic. Workers keep draining the
+	// channel until it is closed, so readers holding mu.RLock on a full
+	// queue always make progress and cannot deadlock Close.
+	mu     sync.RWMutex
+	closed bool
+
+	// executed counts completed tasks, used by tests and the profiler to
+	// account runtime overhead.
+	executed atomic.Int64
+}
+
+// New returns a running pool with the given number of workers. A
+// non-positive width is treated as 1.
+func New(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{
+		tasks:   make(chan Task, 4*workers),
+		workers: workers,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for t := range p.tasks {
+		t()
+		p.executed.Add(1)
+	}
+}
+
+// Workers returns the pool width.
+func (p *Pool) Workers() int { return p.workers }
+
+// Executed returns the number of tasks completed so far.
+func (p *Pool) Executed() int64 { return p.executed.Load() }
+
+// Submit enqueues t for execution. It blocks if the queue is full and
+// returns ErrClosed if the pool has been closed.
+func (p *Pool) Submit(t Task) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrClosed
+	}
+	p.tasks <- t
+	return nil
+}
+
+// Go runs fn on the pool and returns a channel that is closed when fn has
+// finished. If the pool is closed, fn runs synchronously on the caller.
+func (p *Pool) Go(fn func()) <-chan struct{} {
+	done := make(chan struct{})
+	if err := p.Submit(func() {
+		defer close(done)
+		fn()
+	}); err != nil {
+		fn()
+		close(done)
+	}
+	return done
+}
+
+// Close stops accepting tasks, waits for queued tasks to finish, and
+// releases the workers. Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.tasks)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

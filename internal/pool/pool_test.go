@@ -1,0 +1,125 @@
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestExecutesAllTasks(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		if err := p.Submit(func() {
+			n.Add(1)
+			wg.Done()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if n.Load() != 100 {
+		t.Fatalf("executed %d/100", n.Load())
+	}
+}
+
+func TestWidthClamped(t *testing.T) {
+	p := New(0)
+	defer p.Close()
+	if p.Workers() != 1 {
+		t.Fatalf("width %d", p.Workers())
+	}
+}
+
+func TestParallelism(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var inFlight, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		p.Submit(func() {
+			defer wg.Done()
+			cur := inFlight.Add(1)
+			for {
+				old := peak.Load()
+				if cur <= old || peak.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+			inFlight.Add(-1)
+		})
+	}
+	wg.Wait()
+	if peak.Load() < 2 {
+		t.Fatalf("no observed parallelism (peak %d)", peak.Load())
+	}
+	if peak.Load() > 4 {
+		t.Fatalf("parallelism exceeded pool width: %d", peak.Load())
+	}
+}
+
+func TestCloseIdempotentAndRejects(t *testing.T) {
+	p := New(2)
+	p.Close()
+	p.Close() // must not panic
+	if err := p.Submit(func() {}); err != ErrClosed {
+		t.Fatalf("expected ErrClosed, got %v", err)
+	}
+}
+
+func TestCloseWaitsForQueued(t *testing.T) {
+	p := New(1)
+	var done atomic.Bool
+	p.Submit(func() { time.Sleep(20 * time.Millisecond) })
+	p.Submit(func() { done.Store(true) })
+	p.Close()
+	if !done.Load() {
+		t.Fatal("Close returned before queued task ran")
+	}
+}
+
+func TestGoSignalsCompletion(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	var ran atomic.Bool
+	done := p.Go(func() { ran.Store(true) })
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Go never signalled")
+	}
+	if !ran.Load() {
+		t.Fatal("fn did not run")
+	}
+}
+
+func TestGoOnClosedPoolRunsInline(t *testing.T) {
+	p := New(1)
+	p.Close()
+	var ran atomic.Bool
+	done := p.Go(func() { ran.Store(true) })
+	<-done
+	if !ran.Load() {
+		t.Fatal("fn did not run inline on closed pool")
+	}
+}
+
+func TestExecutedCounter(t *testing.T) {
+	p := New(2)
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		p.Submit(func() { wg.Done() })
+	}
+	wg.Wait()
+	p.Close()
+	if p.Executed() != 10 {
+		t.Fatalf("executed counter %d", p.Executed())
+	}
+}

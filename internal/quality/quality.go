@@ -1,0 +1,100 @@
+// Package quality implements the domain-specific output-quality metrics of
+// §4.2 ("Output quality"). Each benchmark's output variability and quality
+// are measured against an oracle with its own well-known metric:
+//
+//   - bodytrack: relative mean square error of the body-part vectors
+//   - fluidanimate: average Euclidean distance between particle positions
+//   - streamcluster: difference of Davies-Bouldin indices of the clusterings
+//   - streamclassifier: difference in B³ metrics
+//   - swaptions: average relative difference between the generated prices
+//   - facedet: average Euclidean distance between the detected face boxes
+//
+// All metrics are oriented so that 0 means "identical to the oracle" and
+// larger values mean worse output.
+package quality
+
+import (
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// RelativeMSE returns the mean square error of got relative to want,
+// normalized by the mean square of want. It is the bodytrack metric.
+// Vectors are compared over their common prefix; two empty vectors have
+// zero error.
+func RelativeMSE(got, want []float64) float64 {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	if n == 0 {
+		return 0
+	}
+	var errSum, refSum float64
+	for i := 0; i < n; i++ {
+		d := got[i] - want[i]
+		errSum += d * d
+		refSum += want[i] * want[i]
+	}
+	if refSum == 0 {
+		if errSum == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return errSum / refSum
+}
+
+// AvgParticleDistance returns the average Euclidean distance between
+// corresponding particle positions. It is the fluidanimate metric.
+func AvgParticleDistance(got, want []mathx.Vec3) float64 {
+	return mathx.AvgEuclidean3(got, want)
+}
+
+// AvgRelativePriceDiff returns the average relative difference between two
+// price vectors. It is the swaptions metric. Prices of zero in the reference
+// contribute the absolute difference instead, to stay finite.
+func AvgRelativePriceDiff(got, want []float64) float64 {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	if n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		d := math.Abs(got[i] - want[i])
+		if want[i] != 0 {
+			d /= math.Abs(want[i])
+		}
+		sum += d
+	}
+	return sum / float64(n)
+}
+
+// FaceBox is an axis-aligned box around a detected face, identified by its
+// four corner points in frame coordinates.
+type FaceBox struct {
+	Corners [4]mathx.Vec2
+}
+
+// AvgFaceBoxDistance returns the average Euclidean distance of the four
+// corner points between corresponding face boxes. It is the facedet metric.
+func AvgFaceBoxDistance(got, want []FaceBox) float64 {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	if n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		for c := 0; c < 4; c++ {
+			sum += got[i].Corners[c].Dist(want[i].Corners[c])
+		}
+	}
+	return sum / float64(4*n)
+}

@@ -1,0 +1,118 @@
+// Package related implements the prior-work comparators of §4.4 (Fig. 17):
+// ALTER-like, QuickStep-like, HELIX-UP-like, and Fast Track, applied to the
+// same state dependences STATS targets. The paper implemented these
+// approaches on its own infrastructure and "kept the highest speedups
+// obtained without exceeding the original output variability"; this package
+// reproduces their decision logic and the execution shapes they induce:
+//
+//   - ALTER-like breaks dependences whose state is a scalar reduction
+//     variable (variable = variable op value) — only swaptions qualifies.
+//   - QuickStep-like and HELIX-UP-like break dependences without state
+//     cloning or auxiliary code; they preserve output quality only where
+//     the broken dependence is statistically safe — again only swaptions.
+//   - Fast Track speculates and validates against a *single* unspeculative
+//     state, ignoring the program's nondeterminism; in the paper's
+//     experiments it "always aborted its speculations". On this runtime
+//     that is exactly a redo budget of zero.
+package related
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/taskgen"
+	"repro/internal/workload"
+)
+
+// Approach is one of the compared systems.
+type Approach int
+
+const (
+	// AlterLike is the ALTER-style breakable-dependence system [81].
+	AlterLike Approach = iota
+	// QuickStepLike is the statistical-accuracy-test parallelizer [57].
+	QuickStepLike
+	// HelixUpLike is the relaxed-semantics parallelizer [16].
+	HelixUpLike
+	// FastTrack is the speculative optimization system [44].
+	FastTrack
+	// STATS is this paper's system.
+	STATS
+)
+
+// Approaches lists the comparators in Fig. 17's order.
+var Approaches = []Approach{AlterLike, QuickStepLike, HelixUpLike, FastTrack, STATS}
+
+// String returns the approach's Fig. 17 label.
+func (a Approach) String() string {
+	switch a {
+	case AlterLike:
+		return "ALTER like"
+	case QuickStepLike:
+		return "QuickStep like"
+	case HelixUpLike:
+		return "HELIX-UP like"
+	case FastTrack:
+		return "Fast Track"
+	case STATS:
+		return "STATS"
+	default:
+		return fmt.Sprintf("Approach(%d)", int(a))
+	}
+}
+
+// BreaksDependence reports whether the approach can take advantage of the
+// workload's state dependence while preserving output quality (§4.4).
+func BreaksDependence(a Approach, d workload.Descriptor) bool {
+	switch a {
+	case AlterLike:
+		return d.ScalarReductionState
+	case QuickStepLike, HelixUpLike:
+		return d.SafeToBreak
+	case FastTrack:
+		// Fast Track tries but its single-state validation always
+		// fails on these nondeterministic benchmarks.
+		return false
+	case STATS:
+		return d.SupportsSTATS
+	default:
+		return false
+	}
+}
+
+// Graph builds the task graph the approach induces for the workload under
+// the given mode and options.
+func Graph(a Approach, mode taskgen.Mode, d workload.Descriptor, m workload.Model, o workload.SpecOptions, seed uint64) *platform.Graph {
+	switch {
+	case a == STATS:
+		return taskgen.Build(mode, m, o, seed)
+	case BreaksDependence(a, d):
+		// The dependence is simply broken: group-parallel execution
+		// with no auxiliary code, no validation, no aborts.
+		broken := m
+		broken.AuxWork = 0
+		broken.ValidateWork = 0
+		broken.MatchProb = 1
+		bo := o
+		bo.UseAux = true
+		return taskgen.Build(mode, broken, bo, seed)
+	case a == FastTrack:
+		// Speculation that always aborts: wasted speculative work plus
+		// the sequential fallback (§4.4: "'Fast Track' always aborted
+		// its speculations in our experiments").
+		failing := m
+		failing.AuxWork = 0 // Fast Track runs the unsafe version, not aux code
+		failing.MatchProb = 0
+		failing.RedoGain = 0
+		fo := o
+		fo.UseAux = true
+		fo.RedoMax = 0
+		return taskgen.Build(mode, failing, fo, seed)
+	default:
+		// Cannot break the dependence without losing quality: the best
+		// admissible configuration is the conventional one.
+		co := o
+		co.UseAux = false
+		return taskgen.Build(mode, m, co, seed)
+	}
+}

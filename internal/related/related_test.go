@@ -1,0 +1,118 @@
+package related
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/taskgen"
+	"repro/internal/workload"
+	"repro/internal/workload/bodytrack"
+	"repro/internal/workload/swaptions"
+)
+
+func opts() workload.SpecOptions {
+	return workload.SpecOptions{UseAux: true, GroupSize: 4, Window: 2, RedoMax: 2, Rollback: 2}
+}
+
+func TestApplicabilityMatrix(t *testing.T) {
+	sw := swaptions.New().Desc()
+	bt := bodytrack.New().Desc()
+	cases := []struct {
+		a      Approach
+		sw, bt bool
+	}{
+		{AlterLike, true, false},
+		{QuickStepLike, true, false},
+		{HelixUpLike, true, false},
+		{FastTrack, false, false},
+		{STATS, true, true},
+	}
+	for _, c := range cases {
+		if BreaksDependence(c.a, sw) != c.sw {
+			t.Fatalf("%s on swaptions: want %v", c.a, c.sw)
+		}
+		if BreaksDependence(c.a, bt) != c.bt {
+			t.Fatalf("%s on bodytrack: want %v", c.a, c.bt)
+		}
+	}
+}
+
+func TestOnlySTATSHelpsBodytrack(t *testing.T) {
+	w := bodytrack.New()
+	d := w.Desc()
+	m := w.CostModel(32, opts())
+	mach := platform.Haswell28(false)
+	seqBase := platform.Simulate(mach, taskgen.Build(taskgen.Sequential, m, workload.SpecOptions{}, 1), 1).Makespan
+
+	speedup := func(a Approach) float64 {
+		g := Graph(a, taskgen.ParSTATS, d, m, opts(), 1)
+		return seqBase / platform.Simulate(mach, g, 28).Makespan
+	}
+	stats := speedup(STATS)
+	for _, a := range []Approach{AlterLike, QuickStepLike, HelixUpLike, FastTrack} {
+		if s := speedup(a); s >= stats {
+			t.Fatalf("%s speedup %v should trail STATS %v on bodytrack", a, s, stats)
+		}
+	}
+}
+
+func TestBreakersMatchSTATSOnSwaptions(t *testing.T) {
+	w := swaptions.New()
+	d := w.Desc()
+	m := w.CostModel(32, opts())
+	mach := platform.Haswell28(false)
+	seqBase := platform.Simulate(mach, taskgen.Build(taskgen.Sequential, m, workload.SpecOptions{}, 1), 1).Makespan
+	speedup := func(a Approach) float64 {
+		g := Graph(a, taskgen.ParSTATS, d, m, opts(), 1)
+		return seqBase / platform.Simulate(mach, g, 28).Makespan
+	}
+	stats := speedup(STATS)
+	alter := speedup(AlterLike)
+	// ALTER breaks swaptions' trivial dependence without aux overhead,
+	// so it is at least as fast as STATS there (§4.4).
+	if alter < stats*0.95 {
+		t.Fatalf("ALTER %v should be competitive with STATS %v on swaptions", alter, stats)
+	}
+}
+
+func TestFastTrackNoBetterThanConventional(t *testing.T) {
+	w := bodytrack.New()
+	d := w.Desc()
+	m := w.CostModel(32, opts())
+	mach := platform.Haswell28(false)
+	ft := platform.Simulate(mach, Graph(FastTrack, taskgen.ParSTATS, d, m, opts(), 1), 28).Makespan
+	conv := platform.Simulate(mach, Graph(QuickStepLike, taskgen.ParSTATS, d, m, opts(), 1), 28).Makespan
+	if ft < conv {
+		t.Fatalf("always-aborting Fast Track (%v) beat the conventional execution (%v)", ft, conv)
+	}
+}
+
+func TestFastTrackAlwaysAbortsOnRealEngine(t *testing.T) {
+	// Fast Track's single-state validation is RedoMax=0 on this runtime:
+	// bodytrack's triangulating acceptance needs at least two originals,
+	// so every validation fails — reproducing §4.4.
+	w := bodytrack.New()
+	for seed := uint64(0); seed < 3; seed++ {
+		_, st := w.RunSTATS(seed, 16, workload.SpecOptions{
+			UseAux: true, GroupSize: 4, Window: 3, RedoMax: 0, Rollback: 2, Workers: 2,
+		})
+		if st.Matches != 0 {
+			t.Fatalf("seed %d: single-state validation matched (stats %+v)", seed, st)
+		}
+		if st.Aborts != 1 {
+			t.Fatalf("seed %d: expected an abort (stats %+v)", seed, st)
+		}
+	}
+}
+
+func TestApproachStrings(t *testing.T) {
+	want := []string{"ALTER like", "QuickStep like", "HELIX-UP like", "Fast Track", "STATS"}
+	for i, a := range Approaches {
+		if a.String() != want[i] {
+			t.Fatalf("approach %d string %q", i, a.String())
+		}
+	}
+	if Approach(99).String() != "Approach(99)" {
+		t.Fatal("unknown approach string")
+	}
+}

@@ -1,0 +1,258 @@
+// Package taskgen lowers a workload's cost model (workload.Model) into a
+// platform task graph for one of the four program shapes the evaluation
+// compares (Figs. 3, 12-15):
+//
+//   - Sequential: the out-of-the-box single-threaded program — a chain of
+//     invocations (times the outer units for outer-parallel workloads).
+//   - Original: the out-of-the-box parallelization — inner fan-out per
+//     invocation with synchronization overhead, or independent outer
+//     chains (swaptions' per-instrument loop).
+//   - SeqSTATS: the binary STATS generates from the sequential version —
+//     only the TLP liberated by satisfying state dependences with
+//     auxiliary code (§4.3, "Seq. STATS").
+//   - ParSTATS: the combination of both TLP sources (§4.3, "Par. STATS"),
+//     STATS's default mode.
+//
+// Speculation outcomes (match / redo / abort at each group boundary) are
+// sampled from the model's acceptance probabilities with a seeded PRVG, so
+// a graph is deterministic given (model, options, seed).
+package taskgen
+
+import (
+	"repro/internal/platform"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// Mode selects the program shape.
+type Mode int
+
+const (
+	// Sequential is the single-threaded out-of-the-box program.
+	Sequential Mode = iota
+	// Original is the out-of-the-box parallelization.
+	Original
+	// SeqSTATS uses only state-dependence TLP.
+	SeqSTATS
+	// ParSTATS combines both TLP sources.
+	ParSTATS
+)
+
+// String returns the mode's name.
+func (m Mode) String() string {
+	switch m {
+	case Sequential:
+		return "Sequential"
+	case Original:
+		return "Original"
+	case SeqSTATS:
+		return "Seq. STATS"
+	default:
+		return "Par. STATS"
+	}
+}
+
+// Build lowers the model into a task graph.
+func Build(mode Mode, m workload.Model, o workload.SpecOptions, seed uint64) *platform.Graph {
+	g := &platform.Graph{}
+	r := rng.New(seed)
+	outer := 1
+	if m.OuterParallel && m.OuterTasks > 1 {
+		outer = m.OuterTasks
+	}
+	switch mode {
+	case Sequential:
+		prev := -1
+		for u := 0; u < outer; u++ {
+			for i := 0; i < m.NumInputs; i++ {
+				prev = addTask(g, m.InvocationWork, prev)
+			}
+		}
+	case Original:
+		if m.OuterParallel {
+			// One task per outer unit: the original program statically
+			// assigns whole units (swaptions) to threads, which is what
+			// caps it at ceil(units/threads) waves.
+			for u := 0; u < outer; u++ {
+				g.Add(float64(m.NumInputs) * m.InvocationWork)
+			}
+		} else {
+			// A chain of invocations, each parallelized inside.
+			prev := -1
+			for i := 0; i < m.NumInputs; i++ {
+				prev = addInnerStage(g, m, prev)
+			}
+		}
+	case SeqSTATS, ParSTATS:
+		inner := mode == ParSTATS && !m.OuterParallel && m.InnerWidth > 1
+		prev := -1
+		for u := 0; u < outer; u++ {
+			// In Seq. STATS the outer units serialize (the sequential
+			// program's loop); in Par. STATS they are independent.
+			start := prev
+			if mode == ParSTATS {
+				start = -1
+			}
+			prev = statsChain(g, m, o, r, inner, start)
+		}
+	}
+	return g
+}
+
+// addTask appends one task, chaining it after prev when prev >= 0.
+func addTask(g *platform.Graph, work float64, prev int) int {
+	if prev >= 0 {
+		return g.Add(work, prev)
+	}
+	return g.Add(work)
+}
+
+// addInnerStage appends one original-TLP invocation: an InnerWidth fan-out
+// of the parallel share, then a serial join carrying the serial fraction
+// and the synchronization overhead.
+func addInnerStage(g *platform.Graph, m workload.Model, prev int) int {
+	width := m.InnerWidth
+	if width < 1 {
+		width = 1
+	}
+	parallelShare := m.InvocationWork * (1 - m.InnerSerialFrac)
+	forks := make([]int, width)
+	for w := 0; w < width; w++ {
+		forks[w] = addTask(g, parallelShare/float64(width), prev)
+	}
+	serial := m.InvocationWork*m.InnerSerialFrac + m.SyncWork
+	return g.Add(serial, forks...)
+}
+
+// invocation appends one STATS-chain invocation: a plain task in Seq mode,
+// an inner stage in Par mode.
+func invocation(g *platform.Graph, m workload.Model, inner bool, prev int) int {
+	if inner {
+		return addInnerStage(g, m, prev)
+	}
+	return addTask(g, m.InvocationWork, prev)
+}
+
+// boundaryOutcome is the sampled result of one group-boundary validation.
+type boundaryOutcome struct {
+	redos   int
+	aborted bool
+}
+
+// sampleBoundary draws a validation outcome from the model's acceptance
+// probabilities.
+func sampleBoundary(r *rng.Source, m workload.Model, redoMax int) boundaryOutcome {
+	if r.Bool(m.MatchProb) {
+		return boundaryOutcome{}
+	}
+	for t := 1; t <= redoMax; t++ {
+		if r.Bool(m.RedoGain) {
+			return boundaryOutcome{redos: t}
+		}
+	}
+	return boundaryOutcome{redos: redoMax, aborted: true}
+}
+
+// statsChain appends the §3.1 execution model for one input chain:
+// overlapped groups started from auxiliary states, validations with
+// bounded re-execution, and the squash-and-fall-back path on abort.
+// unitStart, when >= 0, serializes the chain after a previous unit
+// (Seq. STATS over outer-parallel programs). It returns the chain's last
+// task.
+func statsChain(g *platform.Graph, m workload.Model, o workload.SpecOptions, r *rng.Source, inner bool, unitStart int) int {
+	n := m.NumInputs
+	if n == 0 {
+		return unitStart
+	}
+	gs := o.GroupSize
+	if gs < 1 {
+		gs = 1
+	}
+	if !o.UseAux || gs >= n {
+		// Conventional: sequential chain (with inner TLP in Par mode).
+		prev := unitStart
+		for i := 0; i < n; i++ {
+			prev = invocation(g, m, inner, prev)
+		}
+		return prev
+	}
+	numGroups := (n + gs - 1) / gs
+	rollback := o.Rollback
+	if rollback < 1 {
+		rollback = 1
+	}
+
+	// Per group: the aux task and the invocation chain it feeds.
+	groupLast := make([]int, numGroups)
+	auxTask := make([]int, numGroups)
+	groupLen := make([]int, numGroups)
+	for j := 0; j < numGroups; j++ {
+		length := gs
+		if j == numGroups-1 {
+			length = n - j*gs
+		}
+		groupLen[j] = length
+		start := unitStart
+		auxTask[j] = -1
+		if j > 0 {
+			// Auxiliary code runs before the group, in parallel with
+			// everything else (Fig. 5b).
+			auxTask[j] = addTask(g, m.AuxWork, unitStart)
+			start = auxTask[j]
+		}
+		prev := start
+		for i := 0; i < length; i++ {
+			prev = invocation(g, m, inner, prev)
+		}
+		groupLast[j] = prev
+	}
+
+	// Validations in input order; the first exhausted redo budget aborts
+	// everything after it. A validation at boundary j needs the previous
+	// group's final state (its chain end, after any re-executions) and
+	// the speculative state (the aux task's output); it does not wait for
+	// the speculative group itself.
+	lastValidate := -1
+	for j := 1; j < numGroups; j++ {
+		out := sampleBoundary(r, m, o.RedoMax)
+		// Re-executions: the previous group's last `rollback` inputs
+		// re-run sequentially after its first execution.
+		redoLast := groupLast[j-1]
+		for t := 0; t < out.redos; t++ {
+			w := rollback
+			if w > groupLen[j-1] {
+				w = groupLen[j-1]
+			}
+			for i := 0; i < w; i++ {
+				redoLast = invocation(g, m, inner, redoLast)
+			}
+		}
+		deps := []int{redoLast, auxTask[j]}
+		if lastValidate >= 0 {
+			deps = append(deps, lastValidate)
+		}
+		validate := g.Add(m.ValidateWork, deps...)
+		if out.aborted {
+			// Squash: subsequent groups' in-flight work is wasted
+			// (it still drains machine time); the remaining inputs
+			// re-run sequentially after the failed validation, with
+			// no further speculation (§3.1).
+			remaining := 0
+			for k := j; k < numGroups; k++ {
+				remaining += groupLen[k]
+			}
+			prev := validate
+			for i := 0; i < remaining; i++ {
+				prev = invocation(g, m, inner, prev)
+			}
+			return prev
+		}
+		lastValidate = validate
+	}
+	// The chain completes when the last group's execution and the last
+	// validation have both finished.
+	if lastValidate >= 0 {
+		return g.Add(0, lastValidate, groupLast[numGroups-1])
+	}
+	return groupLast[numGroups-1]
+}

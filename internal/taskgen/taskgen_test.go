@@ -1,0 +1,203 @@
+package taskgen
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+func innerModel() workload.Model {
+	return workload.Model{
+		NumInputs:       16,
+		InvocationWork:  1,
+		AuxWork:         2,
+		InnerWidth:      8,
+		InnerSerialFrac: 0.1,
+		SyncWork:        0.05,
+		ValidateWork:    0.01,
+		MatchProb:       1,
+	}
+}
+
+func outerModel() workload.Model {
+	m := innerModel()
+	m.OuterParallel = true
+	m.OuterTasks = 34
+	m.InnerWidth = 1
+	m.InnerSerialFrac = 1
+	m.SyncWork = 0
+	return m
+}
+
+func specOpts() workload.SpecOptions {
+	return workload.SpecOptions{UseAux: true, GroupSize: 4, Window: 2, RedoMax: 2, Rollback: 2}
+}
+
+func TestSequentialChain(t *testing.T) {
+	g := Build(Sequential, innerModel(), workload.SpecOptions{}, 1)
+	if got := g.TotalWork(); got != 16 {
+		t.Fatalf("total work: %v", got)
+	}
+	if got := g.CriticalPath(); got != 16 {
+		t.Fatalf("critical path: %v (must be fully serial)", got)
+	}
+}
+
+func TestSequentialOuterSerializesUnits(t *testing.T) {
+	g := Build(Sequential, outerModel(), workload.SpecOptions{}, 1)
+	if got := g.CriticalPath(); got != 34*16 {
+		t.Fatalf("critical path: %v", got)
+	}
+}
+
+func TestOriginalInnerParallelism(t *testing.T) {
+	m := innerModel()
+	g := Build(Original, m, workload.SpecOptions{}, 1)
+	// Critical path per stage: parallel share / width + serial + sync.
+	stage := 0.9/8 + 0.1 + 0.05
+	want := 16 * stage
+	if got := g.CriticalPath(); !close(got, want) {
+		t.Fatalf("critical path: %v, want %v", got, want)
+	}
+	// Total work includes the sync overhead.
+	if got := g.TotalWork(); !close(got, 16*1.05) {
+		t.Fatalf("total work: %v", got)
+	}
+}
+
+func TestOriginalOuterIndependentChains(t *testing.T) {
+	g := Build(Original, outerModel(), workload.SpecOptions{}, 1)
+	if got := g.CriticalPath(); got != 16 {
+		t.Fatalf("critical path: %v (chains must be independent)", got)
+	}
+	mach := platform.Haswell28(false)
+	// 34 chains on 28 threads: two waves.
+	r := platform.Simulate(mach, g, 28)
+	if !close(r.Makespan, 32) {
+		t.Fatalf("makespan: %v, want 32 (two waves)", r.Makespan)
+	}
+}
+
+func TestSeqSTATSBreaksTheChain(t *testing.T) {
+	m := innerModel()
+	g := Build(SeqSTATS, m, specOpts(), 1)
+	// With all matches, the critical path is one group (4 inputs) plus
+	// aux work and validations — far below the sequential 16.
+	if cp := g.CriticalPath(); cp >= 10 {
+		t.Fatalf("critical path %v not shortened", cp)
+	}
+	// Work: 16 invocations + 3 aux of 2 + validations.
+	if tw := g.TotalWork(); tw < 16+6 || tw > 16+6+1 {
+		t.Fatalf("total work: %v", tw)
+	}
+}
+
+func TestSTATSWithoutAuxIsConventional(t *testing.T) {
+	m := innerModel()
+	o := specOpts()
+	o.UseAux = false
+	g := Build(SeqSTATS, m, o, 1)
+	if cp := g.CriticalPath(); cp != 16 {
+		t.Fatalf("critical path: %v", cp)
+	}
+}
+
+func TestGroupLargerThanInputsIsConventional(t *testing.T) {
+	m := innerModel()
+	o := specOpts()
+	o.GroupSize = 100
+	g := Build(SeqSTATS, m, o, 1)
+	if cp := g.CriticalPath(); cp != 16 {
+		t.Fatalf("critical path: %v", cp)
+	}
+}
+
+func TestAbortAddsFallbackChain(t *testing.T) {
+	m := innerModel()
+	m.MatchProb = 0 // every boundary fails
+	m.RedoGain = 0
+	o := specOpts()
+	o.RedoMax = 0
+	g := Build(SeqSTATS, m, o, 1)
+	// First boundary aborts: 12 squashed inputs re-run sequentially
+	// after group 0 (4) — critical path at least 16 plus validation.
+	if cp := g.CriticalPath(); cp < 16 {
+		t.Fatalf("critical path %v: fallback missing", cp)
+	}
+	// Wasted speculative work: total > 16 invocations.
+	if tw := g.TotalWork(); tw <= 16+6 {
+		t.Fatalf("total work %v: squashed work missing", tw)
+	}
+}
+
+func TestRedosExtendPreviousGroup(t *testing.T) {
+	m := innerModel()
+	m.MatchProb = 0
+	m.RedoGain = 1 // first redo always matches
+	o := specOpts()
+	base := Build(SeqSTATS, innerModel(), o, 1)
+	redo := Build(SeqSTATS, m, o, 1)
+	// Each of the 3 boundaries adds a rollback-2 re-execution.
+	if diff := redo.TotalWork() - base.TotalWork(); !close(diff, 6) {
+		t.Fatalf("redo work: %v", diff)
+	}
+}
+
+func TestParSTATSUsesInnerAndGroupTLP(t *testing.T) {
+	m := innerModel()
+	seq := Build(SeqSTATS, m, specOpts(), 1)
+	par := Build(ParSTATS, m, specOpts(), 1)
+	if par.CriticalPath() >= seq.CriticalPath() {
+		t.Fatalf("Par critical path %v not below Seq %v", par.CriticalPath(), seq.CriticalPath())
+	}
+}
+
+func TestParSTATSOuterChainsIndependent(t *testing.T) {
+	m := outerModel()
+	o := specOpts()
+	seqStats := Build(SeqSTATS, m, o, 1)
+	parStats := Build(ParSTATS, m, o, 1)
+	// Seq. STATS serializes the 34 units; Par. STATS overlaps them.
+	if parStats.CriticalPath() >= seqStats.CriticalPath()/4 {
+		t.Fatalf("Par %v vs Seq %v", parStats.CriticalPath(), seqStats.CriticalPath())
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	m := innerModel()
+	m.MatchProb = 0.5
+	m.RedoGain = 0.5
+	a := Build(SeqSTATS, m, specOpts(), 7)
+	b := Build(SeqSTATS, m, specOpts(), 7)
+	if a.TotalWork() != b.TotalWork() || len(a.Tasks) != len(b.Tasks) {
+		t.Fatal("same seed produced different graphs")
+	}
+}
+
+func TestSpeculationSpeedsUpSimulatedMakespan(t *testing.T) {
+	m := innerModel()
+	m.NumInputs = 32
+	mach := platform.Haswell28(false)
+	seq := platform.Simulate(mach, Build(Sequential, m, workload.SpecOptions{}, 1), 1)
+	o := specOpts()
+	stats := platform.Simulate(mach, Build(SeqSTATS, m, o, 1), 28)
+	if speedup := seq.Makespan / stats.Makespan; speedup < 3 {
+		t.Fatalf("Seq. STATS speedup only %v", speedup)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Sequential.String() != "Sequential" || Original.String() != "Original" ||
+		SeqSTATS.String() != "Seq. STATS" || ParSTATS.String() != "Par. STATS" {
+		t.Fatal("mode strings")
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}

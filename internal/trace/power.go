@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/energy"
+	"repro/internal/platform"
+)
+
+// PowerOptions controls the power-timeline rendering.
+type PowerOptions struct {
+	// Width is the timeline width in columns (default 80).
+	Width int
+	// Height is the bar height in rows (default 8).
+	Height int
+}
+
+// PowerSeries buckets the modeled instantaneous power over the run into
+// Width columns (time-weighted averages), the series behind the paper's
+// watt-meter trace.
+func PowerSeries(res platform.Result, model energy.Model, width int) []float64 {
+	if width <= 0 {
+		width = 80
+	}
+	series := make([]float64, width)
+	weight := make([]float64, width)
+	if res.Makespan <= 0 {
+		return series
+	}
+	colDur := res.Makespan / float64(width)
+	for _, iv := range res.Intervals {
+		p := model.Power(iv)
+		for c := 0; c < width; c++ {
+			lo := float64(c) * colDur
+			hi := lo + colDur
+			overlap := minF(hi, iv.End) - maxF(lo, iv.Start)
+			if overlap > 0 {
+				series[c] += p * overlap
+				weight[c] += overlap
+			}
+		}
+	}
+	for c := range series {
+		if weight[c] > 0 {
+			series[c] /= weight[c]
+		} else {
+			series[c] = model.BasePower // idle column
+		}
+	}
+	return series
+}
+
+// RenderPower draws the power timeline as an ASCII bar chart: one column
+// per time bucket, bar height proportional to modeled system power.
+func RenderPower(w io.Writer, res platform.Result, model energy.Model, o PowerOptions) {
+	if o.Width <= 0 {
+		o.Width = 80
+	}
+	if o.Height <= 0 {
+		o.Height = 8
+	}
+	series := PowerSeries(res, model, o.Width)
+	maxP := 0.0
+	for _, p := range series {
+		if p > maxP {
+			maxP = p
+		}
+	}
+	if maxP == 0 {
+		fmt.Fprintln(w, "(no power data)")
+		return
+	}
+	fmt.Fprintf(w, "power over time: peak %.0f W, energy %.0f J, makespan %.2f\n",
+		maxP, model.Energy(res), res.Makespan)
+	for row := o.Height; row >= 1; row-- {
+		threshold := maxP * float64(row) / float64(o.Height)
+		line := make([]byte, o.Width)
+		for c, p := range series {
+			if p >= threshold-1e-9 {
+				line[c] = '#'
+			} else {
+				line[c] = ' '
+			}
+		}
+		fmt.Fprintf(w, "%5.0fW |%s\n", threshold, line)
+	}
+	fmt.Fprintf(w, "       +%s\n", repeatByte('-', o.Width))
+}
+
+func repeatByte(b byte, n int) string {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return string(out)
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

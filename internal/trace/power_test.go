@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/platform"
+)
+
+func TestPowerSeriesConstantLoad(t *testing.T) {
+	// 4 equal tasks on 4 threads: constant occupancy, constant power.
+	res := simulateParallel(4, 4)
+	model := energy.Default()
+	series := PowerSeries(res, model, 10)
+	want := model.Power(res.Intervals[0])
+	for i, p := range series {
+		if math.Abs(p-want) > 1e-9 {
+			t.Fatalf("column %d power %v, want %v", i, p, want)
+		}
+	}
+}
+
+func TestPowerSeriesDropsWithOccupancy(t *testing.T) {
+	// A wide phase followed by a single straggler: later columns draw
+	// less power.
+	g := &platform.Graph{}
+	for i := 0; i < 8; i++ {
+		g.Add(1)
+	}
+	g.Add(4) // straggler
+	res := platform.Simulate(platform.Haswell28(false), g, 8)
+	series := PowerSeries(res, energy.Default(), 20)
+	if series[0] <= series[len(series)-1] {
+		t.Fatalf("power should drop at the tail: %v ... %v", series[0], series[len(series)-1])
+	}
+}
+
+func TestPowerSeriesEmptyRun(t *testing.T) {
+	series := PowerSeries(platform.Result{}, energy.Default(), 5)
+	for _, p := range series {
+		if p != 0 {
+			t.Fatalf("empty run power: %v", series)
+		}
+	}
+}
+
+func TestRenderPower(t *testing.T) {
+	res := simulateParallel(8, 4)
+	var buf bytes.Buffer
+	RenderPower(&buf, res, energy.Default(), PowerOptions{Width: 30, Height: 4})
+	out := buf.String()
+	if !strings.Contains(out, "power over time") || !strings.Contains(out, "W |") {
+		t.Fatalf("render:\n%s", out)
+	}
+	// 4 bar rows + header + axis.
+	if lines := strings.Count(out, "\n"); lines != 6 {
+		t.Fatalf("line count %d:\n%s", lines, out)
+	}
+}
+
+func TestRenderPowerEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	RenderPower(&buf, platform.Result{}, energy.Model{}, PowerOptions{})
+	if !strings.Contains(buf.String(), "no power data") {
+		t.Fatalf("empty render: %q", buf.String())
+	}
+}

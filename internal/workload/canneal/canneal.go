@@ -1,0 +1,229 @@
+// Package canneal reproduces the PARSEC canneal benchmark: simulated-
+// annealing routing-cost minimization of a chip netlist. It is the one
+// nondeterministic benchmark STATS cannot target (§4.2): "STATS needs to
+// know the number of inputs that the code pattern of Figure 4 has to
+// process at run time just before the first invocation of this code
+// pattern. This information is unfortunately unavailable in the canneal
+// benchmark: the number of inputs depends on the evolution of the
+// computation state" — the annealing loop ends when the cost converges.
+//
+// The workload is included for Fig. 2 (output variability) and to exercise
+// the static-rejection path: Desc().SupportsSTATS is false, and RunSTATS
+// falls back to the conventional execution with empty speculation
+// statistics.
+package canneal
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// gridSide is the placement grid's edge length; elements live at grid
+// cells.
+const gridSide = 16
+
+// netsPerElement is the average connectivity of the synthetic netlist.
+const netsPerElement = 3
+
+// netlist is the fixed input: element pairs that want to be close.
+type netlist struct {
+	n     int
+	wires [][2]int
+}
+
+// Netlist returns the synthetic netlist's wire list (element index pairs
+// that want to be close), fixed per size.
+func Netlist(size int) [][2]int {
+	return genNetlist(size).wires
+}
+
+// genNetlist materializes the input, fixed per size.
+func genNetlist(size int) netlist {
+	n := 4 * size
+	if n > gridSide*gridSide {
+		n = gridSide * gridSide
+	}
+	r := rng.New(0xCA22EA1)
+	nl := netlist{n: n}
+	for i := 0; i < n; i++ {
+		for k := 0; k < netsPerElement; k++ {
+			j := r.Intn(n)
+			if j != i {
+				nl.wires = append(nl.wires, [2]int{i, j})
+			}
+		}
+	}
+	return nl
+}
+
+// placement maps element -> grid cell.
+type placement []int
+
+func (p placement) cost(nl netlist) float64 {
+	total := 0.0
+	for _, w := range nl.wires {
+		ax, ay := p[w[0]]%gridSide, p[w[0]]/gridSide
+		bx, by := p[w[1]]%gridSide, p[w[1]]/gridSide
+		total += math.Abs(float64(ax-bx)) + math.Abs(float64(ay-by))
+	}
+	return total
+}
+
+// Result is the final routing cost; its Distance is the relative cost
+// difference.
+type Result struct {
+	Cost float64
+	// Steps is the number of temperature steps the run took — the value
+	// STATS would have needed in advance and cannot know.
+	Steps int
+}
+
+// Distance implements workload.Result.
+func (r Result) Distance(ref workload.Result) float64 {
+	o := ref.(Result)
+	if o.Cost == 0 {
+		return math.Abs(r.Cost - o.Cost)
+	}
+	return math.Abs(r.Cost-o.Cost) / o.Cost
+}
+
+// W is the canneal workload.
+type W struct{}
+
+// New returns the workload.
+func New() *W { return &W{} }
+
+// Desc implements workload.Workload. No tradeoffs are listed: the paper
+// could not find a targetable state dependence, so canneal never reaches
+// the tradeoff-encoding stage.
+func (*W) Desc() workload.Descriptor {
+	return workload.Descriptor{
+		Name:          "canneal",
+		OriginalLOC:   2800,
+		NumDeps:       0,
+		SupportsSTATS: false,
+		RejectReason: "the number of inputs of the Figure 4 pattern depends on the evolution " +
+			"of the computation state (the annealing loop ends at convergence), so it is not " +
+			"known before the first invocation",
+		VariabilitySource: "prvg",
+	}
+}
+
+// anneal runs the simulated annealing. sweepsScale multiplies the per-
+// temperature sweep count (the quality-boost knob); jitter=0 with a fixed
+// seed yields the oracle.
+func anneal(seed uint64, size int, sweepsScale float64) Result {
+	nl := genNetlist(size)
+	r := rng.New(seed)
+	// Initial placement: a fixed permutation of the grid cells.
+	cells := rng.New(0xCA22EA2).Perm(gridSide * gridSide)
+	p := make(placement, nl.n)
+	copy(p, cells[:nl.n])
+	occupied := make(map[int]int, nl.n) // cell -> element
+	for e, c := range p {
+		occupied[c] = e
+	}
+
+	temp := 8.0
+	cost := p.cost(nl)
+	steps := 0
+	sweeps := int(float64(nl.n) * 4 * sweepsScale)
+	if sweeps < 1 {
+		sweeps = 1
+	}
+	for temp > 0.05 {
+		steps++
+		improved := 0.0
+		for s := 0; s < sweeps; s++ {
+			a := r.Intn(nl.n)
+			cell := r.Intn(gridSide * gridSide)
+			before := cost
+			// Swap element a with whatever holds the cell (or move).
+			oldCell := p[a]
+			if b, ok := occupied[cell]; ok && b != a {
+				p[a], p[b] = cell, oldCell
+				occupied[cell], occupied[oldCell] = a, b
+				after := p.cost(nl)
+				if accept(r, after-before, temp) {
+					cost = after
+					improved += before - after
+				} else {
+					p[a], p[b] = oldCell, cell
+					occupied[cell], occupied[oldCell] = b, a
+				}
+			} else if !ok {
+				p[a] = cell
+				delete(occupied, oldCell)
+				occupied[cell] = a
+				after := p.cost(nl)
+				if accept(r, after-before, temp) {
+					cost = after
+					improved += before - after
+				} else {
+					p[a] = oldCell
+					delete(occupied, cell)
+					occupied[oldCell] = a
+				}
+			}
+		}
+		temp *= 0.8
+		// Convergence-dependent early exit: this is why the input count
+		// is unknowable up front.
+		if improved < 0.02*cost && temp < 3 {
+			break
+		}
+	}
+	return Result{Cost: cost, Steps: steps}
+}
+
+func accept(r *rng.Source, delta, temp float64) bool {
+	if delta <= 0 {
+		return true
+	}
+	return r.Float64() < math.Exp(-delta/temp)
+}
+
+// RunOriginal implements workload.Workload.
+func (*W) RunOriginal(seed uint64, size int) workload.Result {
+	return anneal(seed, size, 1)
+}
+
+// RunOracle implements workload.Workload: many more sweeps, fixed seed.
+func (*W) RunOracle(size int) workload.Result {
+	return anneal(0x0AC1E, size, 8)
+}
+
+// RunBoosted implements workload.Workload.
+func (*W) RunBoosted(seed uint64, size int, factor float64) workload.Result {
+	if factor < 1 {
+		factor = 1
+	}
+	return anneal(seed, size, factor)
+}
+
+// RunSTATS implements workload.Workload. STATS statically rejects canneal,
+// so the run falls back to the conventional execution and reports empty
+// speculation statistics.
+func (w *W) RunSTATS(seed uint64, size int, o workload.SpecOptions) (workload.Result, core.Stats) {
+	return w.RunOriginal(seed, size), core.Stats{}
+}
+
+// CostModel implements workload.Workload. Not used by the thread-sweep
+// experiments (canneal is excluded from them, as in the paper), but
+// provided for completeness: a conventionally parallelized annealer.
+func (*W) CostModel(size int, o workload.SpecOptions) workload.Model {
+	return workload.Model{
+		NumInputs:       size,
+		InvocationWork:  1,
+		AuxWork:         0,
+		InnerWidth:      8,
+		InnerSerialFrac: 0.2,
+		SyncWork:        0.05,
+		ValidateWork:    0,
+		MatchProb:       0,
+		RedoGain:        0,
+	}
+}

@@ -1,0 +1,133 @@
+package conformance
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+	"repro/internal/workload/registry"
+)
+
+// The task-graph generator samples speculation outcomes from each
+// workload's analytic acceptance model (MatchProb / RedoGain). These tests
+// pin the models to the real engine's behaviour class so the two layers
+// cannot silently drift apart.
+
+// strongOpts is a generously provisioned configuration: a wide window and
+// redo budget, the regime in which a well-formed auxiliary producer should
+// mostly succeed.
+func strongOpts() workload.SpecOptions {
+	return workload.SpecOptions{
+		UseAux: true, GroupSize: 4, Window: 4, RedoMax: 3, Rollback: 4, Workers: 4,
+	}
+}
+
+func TestByConstructionModelsNeverAbort(t *testing.T) {
+	for _, w := range registry.Targets() {
+		w := w
+		m := w.CostModel(size, strongOpts())
+		if m.MatchProb != 1 {
+			continue // not a by-construction acceptance
+		}
+		t.Run(w.Desc().Name, func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(0); seed < 4; seed++ {
+				_, st := w.RunSTATS(seed, size, strongOpts())
+				if st.Aborts != 0 {
+					t.Fatalf("model says by-construction, real engine aborted: %+v", st)
+				}
+				if st.Redos != 0 {
+					t.Fatalf("by-construction acceptance should never redo: %+v", st)
+				}
+			}
+		})
+	}
+}
+
+func TestDoomedModelNeverMatches(t *testing.T) {
+	for _, w := range registry.Targets() {
+		w := w
+		m := w.CostModel(size, strongOpts())
+		if m.MatchProb != 0 || m.RedoGain != 0 {
+			continue // not modeled as hopeless
+		}
+		t.Run(w.Desc().Name, func(t *testing.T) {
+			t.Parallel()
+			o := strongOpts()
+			// Boundaries whose group start is covered by the window see
+			// the complete history, so their aux state is legitimately
+			// reproducible; the "all previous inputs required" property
+			// only bites beyond that.
+			coveredBoundaries := o.Window / o.GroupSize
+			for seed := uint64(0); seed < 3; seed++ {
+				_, st := w.RunSTATS(seed, size, o)
+				if st.Matches > coveredBoundaries {
+					t.Fatalf("model says speculation is hopeless beyond the window, real engine matched %d times: %+v",
+						st.Matches, st)
+				}
+				if st.Aborts == 0 {
+					t.Fatalf("a doomed workload must eventually abort: %+v", st)
+				}
+			}
+		})
+	}
+}
+
+func TestTriangulatingModelsMostlySucceed(t *testing.T) {
+	for _, w := range registry.Targets() {
+		w := w
+		m := w.CostModel(size, strongOpts())
+		if m.MatchProb != 0 || m.RedoGain == 0 {
+			continue // not a triangulating acceptance
+		}
+		t.Run(w.Desc().Name, func(t *testing.T) {
+			t.Parallel()
+			// Model sanity: a strong configuration promises high
+			// per-redo acceptance.
+			if m.RedoGain < 0.6 {
+				t.Fatalf("strong config's modeled redo acceptance only %v", m.RedoGain)
+			}
+			matches, boundaries := 0, 0
+			for seed := uint64(0); seed < 6; seed++ {
+				_, st := w.RunSTATS(seed, size, strongOpts())
+				matches += st.Matches
+				boundaries += st.Matches + st.Aborts
+				// Triangulation needs two originals: the first
+				// validation can never pass without a redo.
+				if st.Matches > 0 && st.Redos == 0 {
+					t.Fatalf("matched without any redo under triangulating acceptance: %+v", st)
+				}
+			}
+			if boundaries == 0 {
+				t.Fatal("no validations happened")
+			}
+			rate := float64(matches) / float64(boundaries)
+			if rate < 0.5 {
+				t.Fatalf("real acceptance rate %.2f contradicts modeled %v", rate, m.RedoGain)
+			}
+		})
+	}
+}
+
+func TestModelClassesCoverAllTargets(t *testing.T) {
+	byConstruction, triangulating, doomed := 0, 0, 0
+	for _, w := range registry.Targets() {
+		m := w.CostModel(size, strongOpts())
+		switch {
+		case m.MatchProb == 1:
+			byConstruction++
+		case m.MatchProb == 0 && m.RedoGain > 0:
+			triangulating++
+		case m.MatchProb == 0 && m.RedoGain == 0:
+			doomed++
+		default:
+			t.Fatalf("%s: unclassified acceptance model (%v, %v)",
+				w.Desc().Name, m.MatchProb, m.RedoGain)
+		}
+	}
+	// The paper's taxonomy: swaptions/streamcluster/streamclassifier by
+	// construction, bodytrack/facedet triangulating, fluidanimate doomed.
+	if byConstruction != 3 || triangulating != 2 || doomed != 1 {
+		t.Fatalf("class counts: %d by-construction, %d triangulating, %d doomed",
+			byConstruction, triangulating, doomed)
+	}
+}

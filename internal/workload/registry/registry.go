@@ -1,0 +1,55 @@
+// Package registry enumerates the benchmark reproductions in the paper's
+// order, so the harness, CLIs and benches iterate over one canonical list.
+package registry
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+	"repro/internal/workload/bodytrack"
+	"repro/internal/workload/canneal"
+	"repro/internal/workload/facedet"
+	"repro/internal/workload/fluidanimate"
+	"repro/internal/workload/streamclassifier"
+	"repro/internal/workload/streamcluster"
+	"repro/internal/workload/swaptions"
+)
+
+// Targets returns the six STATS targets in the order the paper's figures
+// list them (swaptions, streamclassifier, streamcluster, fluidanimate,
+// bodytrack, facedet).
+func Targets() []workload.Workload {
+	return []workload.Workload{
+		swaptions.New(),
+		streamclassifier.New(),
+		streamcluster.New(),
+		fluidanimate.New(),
+		bodytrack.New(),
+		facedet.New(),
+	}
+}
+
+// All returns the targets plus canneal (the statically rejected benchmark,
+// still part of the Fig. 2 variability study).
+func All() []workload.Workload {
+	return append(Targets(), canneal.New())
+}
+
+// ByName returns the named workload.
+func ByName(name string) (workload.Workload, error) {
+	for _, w := range All() {
+		if w.Desc().Name == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("registry: unknown workload %q", name)
+}
+
+// Names returns all workload names.
+func Names() []string {
+	var out []string
+	for _, w := range All() {
+		out = append(out, w.Desc().Name)
+	}
+	return out
+}

@@ -1,0 +1,364 @@
+// Package streamcluster reproduces the PARSEC streamcluster benchmark
+// (§4.2): online k-median clustering of a point stream. Candidate centroids
+// are considered one by one; whether a candidate opens a new center is a
+// randomized decision that depends on the current solution, and the
+// solution update serializes the stream — the state dependence is "on
+// updating the status of the current solution".
+//
+// Tradeoffs (§4.2): the data types of three variables used to estimate the
+// quality of the current solution, plus the maximum and minimum number of
+// clusters.
+//
+// No state-comparison function is needed: a solution built by the auxiliary
+// code from a window of recent points is by construction a solution the
+// nondeterministic original producer could have reached.
+package streamcluster
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/quality"
+	"repro/internal/rng"
+	"repro/internal/tradeoff"
+	"repro/internal/workload"
+	"repro/internal/workload/streamdata"
+)
+
+// pointsPerInput is the number of stream points one invocation of the
+// state-dependence target consumes.
+const pointsPerInput = 16
+
+// Batch is one input: a slice of the stream.
+type Batch struct {
+	Points []streamdata.Point
+}
+
+// center is one open facility.
+type center struct {
+	pos    [streamdata.Dim]float64
+	weight float64
+}
+
+// Solution is the state: the current set of open centers and the running
+// facility cost estimate.
+type Solution struct {
+	Centers      []center
+	FacilityCost float64
+}
+
+func cloneSolution(s Solution) Solution {
+	c := Solution{Centers: make([]center, len(s.Centers)), FacilityCost: s.FacilityCost}
+	copy(c.Centers, s.Centers)
+	return c
+}
+
+// params resolve the five algorithmic tradeoffs.
+type params struct {
+	prec        [3]tradeoff.Precision
+	maxClusters int
+	minClusters int
+}
+
+// Result is the final clustering of the whole stream; its Distance is the
+// difference of Davies-Bouldin indices (§4.2).
+type Result struct {
+	Clustering quality.Clustering
+}
+
+// Distance implements workload.Result.
+func (r Result) Distance(ref workload.Result) float64 {
+	return quality.DaviesBouldinDiff(r.Clustering, ref.(Result).Clustering)
+}
+
+// W is the streamcluster workload.
+type W struct{}
+
+// New returns the workload.
+func New() *W { return &W{} }
+
+// Desc implements workload.Workload with Table 1's streamcluster row.
+func (*W) Desc() workload.Descriptor {
+	return workload.Descriptor{
+		Name:        "streamcluster",
+		OriginalLOC: 1770,
+		NumDeps:     2,
+		Tradeoffs: []tradeoff.T{
+			tradeoff.New("GainPrecision", tradeoff.Type, tradeoff.PrecisionEnum()),
+			tradeoff.New("CostPrecision", tradeoff.Type, tradeoff.PrecisionEnum()),
+			tradeoff.New("WeightPrecision", tradeoff.Type, tradeoff.PrecisionEnum()),
+			tradeoff.New("MaxClusters", tradeoff.Constant, tradeoff.IntRange{Lo: 5, Hi: 20, Default: 5}),
+			tradeoff.New("MinClusters", tradeoff.Constant, tradeoff.IntRange{Lo: 1, Hi: 5, Default: 2}),
+		},
+		TradeoffLOC:       [][2]int{{80, 215}, {10, 20}, {60, 174}, {0, 15}, {0, 15}, {0, 15}, {0, 15}},
+		ComparisonLOC:     0,
+		SupportsSTATS:     true,
+		VariabilitySource: "race",
+	}
+}
+
+func (w *W) resolve(o workload.SpecOptions, defaults bool) params {
+	ts := w.Desc().Tradeoffs
+	idx := func(t int) int64 {
+		if defaults {
+			return ts[t].Opts.DefaultIndex()
+		}
+		return o.Tradeoff(ts, t)
+	}
+	var p params
+	for i := 0; i < 3; i++ {
+		p.prec[i] = ts[i].Opts.Value(idx(i)).(tradeoff.Precision)
+	}
+	p.maxClusters = int(ts[3].Opts.Value(idx(3)).(int64))
+	p.minClusters = int(ts[4].Opts.Value(idx(4)).(int64))
+	if p.minClusters > p.maxClusters {
+		p.minClusters = p.maxClusters
+	}
+	return p
+}
+
+// addPoint performs the randomized facility-location step for one point:
+// open a new center with probability proportional to the (precision-
+// quantized) connection gain, otherwise assign to the nearest center.
+func addPoint(r *rng.Source, p params, sol *Solution, pt streamdata.Point) {
+	if len(sol.Centers) == 0 {
+		sol.Centers = append(sol.Centers, center{pos: pt.X, weight: 1})
+		return
+	}
+	best := math.Inf(1)
+	bestIdx := 0
+	for i := range sol.Centers {
+		d := p.prec[0].Quantize(streamdata.SqDist(sol.Centers[i].pos, pt.X))
+		if d < best {
+			best = d
+			bestIdx = i
+		}
+	}
+	cost := p.prec[1].Quantize(sol.FacilityCost)
+	if cost <= 0 {
+		cost = 1
+	}
+	if r.Float64() < math.Min(1, best/cost) {
+		sol.Centers = append(sol.Centers, center{pos: pt.X, weight: 1})
+	} else {
+		c := &sol.Centers[bestIdx]
+		w := p.prec[2].Quantize(c.weight)
+		for d := 0; d < streamdata.Dim; d++ {
+			c.pos[d] = (c.pos[d]*w + pt.X[d]) / (w + 1)
+		}
+		c.weight = w + 1
+	}
+	// Track the running facility cost so openings stay calibrated.
+	sol.FacilityCost = 0.97*sol.FacilityCost + 0.03*best*4
+	// Consolidate down to the cluster budget.
+	for len(sol.Centers) > p.maxClusters {
+		mergeClosest(sol)
+	}
+}
+
+// mergeClosest merges the two nearest centers (weighted mean).
+func mergeClosest(sol *Solution) {
+	n := len(sol.Centers)
+	bi, bj := 0, 1
+	best := math.Inf(1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d := streamdata.SqDist(sol.Centers[i].pos, sol.Centers[j].pos); d < best {
+				best, bi, bj = d, i, j
+			}
+		}
+	}
+	a, b := sol.Centers[bi], sol.Centers[bj]
+	total := a.weight + b.weight
+	for d := 0; d < streamdata.Dim; d++ {
+		a.pos[d] = (a.pos[d]*a.weight + b.pos[d]*b.weight) / total
+	}
+	a.weight = total
+	sol.Centers[bi] = a
+	sol.Centers = append(sol.Centers[:bj], sol.Centers[bj+1:]...)
+}
+
+// computeOutput consumes one batch, updating the solution; the output is
+// the number of open centers (a progress indicator).
+func computeOutput(p params) core.Compute[Batch, Solution, int] {
+	return func(r *rng.Source, b Batch, sol Solution) (int, Solution) {
+		sol = cloneSolution(sol)
+		for _, pt := range b.Points {
+			addPoint(r, p, &sol, pt)
+		}
+		return len(sol.Centers), sol
+	}
+}
+
+// auxCode builds a speculative solution by clustering only the window's
+// recent points at the auxiliary tradeoffs. The stream is stationary, so
+// the window's solution is statistically interchangeable with the prefix's.
+func auxCode(p params) core.Aux[Batch, Solution] {
+	return func(r *rng.Source, init Solution, recent []Batch) Solution {
+		sol := cloneSolution(init)
+		sol.FacilityCost = 1
+		for _, b := range recent {
+			for _, pt := range b.Points {
+				addPoint(r, p, &sol, pt)
+			}
+		}
+		return sol
+	}
+}
+
+func stateOps() core.StateOps[Solution] {
+	return core.StateOps[Solution]{Clone: cloneSolution}
+}
+
+// batches splits the stream into inputs.
+func batches(size int, badTraining bool) []Batch {
+	pts := streamdata.Stream(size*pointsPerInput, badTraining)
+	bs := make([]Batch, size)
+	for i := range bs {
+		bs[i] = Batch{Points: pts[i*pointsPerInput : (i+1)*pointsPerInput]}
+	}
+	return bs
+}
+
+// finalClustering assigns every stream point to its nearest final center.
+func finalClustering(sol Solution, pts []streamdata.Point) quality.Clustering {
+	c := quality.Clustering{
+		Points: make([][]float64, len(pts)),
+		Assign: make([]int, len(pts)),
+	}
+	for i, pt := range pts {
+		c.Points[i] = pt.Coords()
+		best := math.Inf(1)
+		for j := range sol.Centers {
+			if d := streamdata.SqDist(sol.Centers[j].pos, pt.X); d < best {
+				best = d
+				c.Assign[i] = j
+			}
+		}
+	}
+	return c
+}
+
+// RunOriginal implements workload.Workload.
+func (w *W) RunOriginal(seed uint64, size int) workload.Result {
+	return w.run(seed, size, w.resolve(workload.SpecOptions{}, true), 0, false)
+}
+
+func (w *W) run(seed uint64, size int, p params, refine int, badTraining bool) Result {
+	bs := batches(size, badTraining)
+	r := rng.New(seed)
+	sol := Solution{FacilityCost: 1}
+	compute := computeOutput(p)
+	for _, b := range bs {
+		_, sol = compute(r.Split(), b, sol)
+	}
+	pts := streamdata.Stream(size*pointsPerInput, badTraining)
+	sol = refineSolution(sol, pts, refine)
+	return Result{Clustering: finalClustering(sol, pts)}
+}
+
+// refineSolution runs Lloyd iterations over the full dataset — the
+// "iterate more over the same dataset" quality mode of Fig. 16. Iterating
+// also consolidates the solution toward the stream's natural component
+// count before refining, as the offline k-median phase of the original
+// benchmark does.
+func refineSolution(sol Solution, pts []streamdata.Point, iters int) Solution {
+	if iters > 0 {
+		for len(sol.Centers) > streamdata.NumComponents {
+			mergeClosest(&sol)
+		}
+	}
+	for it := 0; it < iters; it++ {
+		sums := make([][streamdata.Dim]float64, len(sol.Centers))
+		counts := make([]float64, len(sol.Centers))
+		for _, pt := range pts {
+			best := math.Inf(1)
+			bi := 0
+			for j := range sol.Centers {
+				if d := streamdata.SqDist(sol.Centers[j].pos, pt.X); d < best {
+					best, bi = d, j
+				}
+			}
+			for d := 0; d < streamdata.Dim; d++ {
+				sums[bi][d] += pt.X[d]
+			}
+			counts[bi]++
+		}
+		for j := range sol.Centers {
+			if counts[j] == 0 {
+				continue
+			}
+			for d := 0; d < streamdata.Dim; d++ {
+				sol.Centers[j].pos[d] = sums[j][d] / counts[j]
+			}
+			sol.Centers[j].weight = counts[j]
+		}
+	}
+	return sol
+}
+
+// RunOracle implements workload.Workload: generous cluster budget and
+// Lloyd refinement to convergence, fixed seed.
+func (w *W) RunOracle(size int) workload.Result {
+	p := w.resolve(workload.SpecOptions{}, true)
+	p.maxClusters = streamdata.NumComponents
+	p.minClusters = streamdata.NumComponents
+	return w.run(0x0AC1E, size, p, 25, false)
+}
+
+// RunBoosted implements workload.Workload (Fig. 16).
+func (w *W) RunBoosted(seed uint64, size int, factor float64) workload.Result {
+	iters := int(factor) - 1
+	if iters < 0 {
+		iters = 0
+	}
+	return w.run(seed, size, w.resolve(workload.SpecOptions{}, true), iters, false)
+}
+
+// RunSTATS implements workload.Workload.
+func (w *W) RunSTATS(seed uint64, size int, o workload.SpecOptions) (workload.Result, core.Stats) {
+	def := w.resolve(o, true)
+	aux := w.resolve(o, false)
+	bs := batches(size, o.BadTraining)
+	dep := core.New(computeOutput(def), auxCode(aux), stateOps())
+	_, final, st := dep.Run(bs, Solution{FacilityCost: 1}, core.Options{
+		UseAux:    o.UseAux,
+		GroupSize: o.GroupSize,
+		Window:    o.Window,
+		RedoMax:   o.RedoMax,
+		Rollback:  o.Rollback,
+		Workers:   o.Workers,
+		Seed:      seed,
+	})
+	pts := streamdata.Stream(size*pointsPerInput, o.BadTraining)
+	return Result{Clustering: finalClustering(final, pts)}, st
+}
+
+// CostModel implements workload.Workload. The paper observes super-linear
+// effects for this benchmark (better L1 locality, faster convergence when
+// candidate order changes, §4.3); the model reflects the original's serial
+// centroid-add sections limiting its TLP.
+func (w *W) CostModel(size int, o workload.SpecOptions) workload.Model {
+	def := w.resolve(o, true)
+	aux := w.resolve(o, false)
+	unit := func(p params) float64 {
+		precCost := (p.prec[0].CostFactor() + p.prec[1].CostFactor() + p.prec[2].CostFactor()) / 3
+		// Cost grows with the cluster budget (nearest-center scans).
+		return precCost * (0.6 + 0.4*float64(p.maxClusters)/10.0)
+	}
+	win := o.Window
+	if win < 1 {
+		win = 1
+	}
+	return workload.Model{
+		NumInputs:       size,
+		InvocationWork:  unit(def),
+		AuxWork:         float64(win) * unit(aux),
+		InnerWidth:      16,
+		InnerSerialFrac: 0.10, // solution updates serialize the original
+		SyncWork:        0.04,
+		ValidateWork:    0.001,
+		MatchProb:       1, // by-construction acceptance
+		RedoGain:        0,
+	}
+}

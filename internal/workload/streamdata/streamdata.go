@@ -1,0 +1,77 @@
+// Package streamdata generates the multidimensional point streams shared by
+// the streamcluster and streamclassifier workloads: a fixed Gaussian
+// mixture, so the stream is statistically stationary — the property that
+// lets a solution built from a window of recent points stand in for the
+// solution built from the whole prefix.
+package streamdata
+
+import "repro/internal/rng"
+
+// Dim is the dimensionality of stream points.
+const Dim = 4
+
+// NumComponents is the number of mixture components (the gold clustering).
+const NumComponents = 5
+
+// Point is one stream element; Label is its generating component (the gold
+// class for streamclassifier, hidden from streamcluster).
+type Point struct {
+	X     [Dim]float64
+	Label int
+}
+
+// Coords returns the coordinates as a slice.
+func (p Point) Coords() []float64 {
+	out := make([]float64, Dim)
+	copy(out, p.X[:])
+	return out
+}
+
+// Centers returns the mixture's true component centers.
+func Centers() [NumComponents][Dim]float64 {
+	var c [NumComponents][Dim]float64
+	r := rng.New(0x57E4)
+	for i := range c {
+		for d := 0; d < Dim; d++ {
+			c[i][d] = r.Range(-10, 10)
+		}
+	}
+	return c
+}
+
+// Stream materializes n points. The input seed is fixed, so every run sees
+// the same stream. badTraining produces the §4.6 variant: "points overlap
+// in the multidimensional space" — every component collapses onto the same
+// center, so training reveals nothing about cluster structure.
+func Stream(n int, badTraining bool) []Point {
+	seed := uint64(0x57E5)
+	if badTraining {
+		seed ^= 0xBAD
+	}
+	r := rng.New(seed)
+	centers := Centers()
+	pts := make([]Point, n)
+	for i := range pts {
+		comp := r.Intn(NumComponents)
+		pts[i].Label = comp
+		for d := 0; d < Dim; d++ {
+			center := centers[comp][d]
+			if badTraining {
+				center = 0 // all components overlap
+			}
+			pts[i].X[d] = center + r.Norm()*1.2
+		}
+	}
+	return pts
+}
+
+// SqDist returns the squared Euclidean distance between two points'
+// coordinates.
+func SqDist(a, b [Dim]float64) float64 {
+	sum := 0.0
+	for d := 0; d < Dim; d++ {
+		diff := a[d] - b[d]
+		sum += diff * diff
+	}
+	return sum
+}

@@ -1,0 +1,79 @@
+package streamdata
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStreamFixedAcrossRuns(t *testing.T) {
+	a := Stream(50, false)
+	b := Stream(50, false)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d differs", i)
+		}
+	}
+}
+
+func TestLabelsInRange(t *testing.T) {
+	for _, p := range Stream(200, false) {
+		if p.Label < 0 || p.Label >= NumComponents {
+			t.Fatalf("label %d", p.Label)
+		}
+	}
+}
+
+func TestComponentsSeparated(t *testing.T) {
+	// Points of one component cluster around their center; different
+	// components are far apart on average.
+	pts := Stream(500, false)
+	centers := Centers()
+	var within, between float64
+	var nWithin, nBetween int
+	for _, p := range pts {
+		within += math.Sqrt(SqDist(p.X, centers[p.Label]))
+		nWithin++
+		other := (p.Label + 1) % NumComponents
+		between += math.Sqrt(SqDist(p.X, centers[other]))
+		nBetween++
+	}
+	if within/float64(nWithin) >= between/float64(nBetween)/2 {
+		t.Fatalf("components not separated: within %v, between %v",
+			within/float64(nWithin), between/float64(nBetween))
+	}
+}
+
+func TestBadTrainingOverlaps(t *testing.T) {
+	pts := Stream(500, true)
+	// All points near the origin regardless of label.
+	var maxNorm float64
+	for _, p := range pts {
+		n := math.Sqrt(SqDist(p.X, [Dim]float64{}))
+		if n > maxNorm {
+			maxNorm = n
+		}
+	}
+	if maxNorm > 8 {
+		t.Fatalf("bad-training points should overlap at origin: max norm %v", maxNorm)
+	}
+}
+
+func TestSqDist(t *testing.T) {
+	a := [Dim]float64{1, 0, 0, 0}
+	b := [Dim]float64{0, 2, 0, 0}
+	if got := SqDist(a, b); got != 5 {
+		t.Fatalf("SqDist: %v", got)
+	}
+}
+
+func TestCoords(t *testing.T) {
+	p := Point{X: [Dim]float64{1, 2, 3, 4}}
+	c := p.Coords()
+	if len(c) != Dim || c[2] != 3 {
+		t.Fatalf("coords: %v", c)
+	}
+	c[0] = 99
+	if p.X[0] == 99 {
+		t.Fatal("Coords aliases the point")
+	}
+}

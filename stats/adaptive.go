@@ -1,0 +1,47 @@
+package stats
+
+import "repro/internal/core"
+
+// AdaptiveOptions configures RunAdaptive: the base Options plus the online
+// group-size controller's bounds.
+type AdaptiveOptions struct {
+	Options
+	// MinGroup and MaxGroup bound the controller (defaults 2 and 64).
+	MinGroup int
+	MaxGroup int
+	// ChunkGroups is how many groups form one adaptation chunk
+	// (default 4).
+	ChunkGroups int
+}
+
+// AdaptiveStats extends RunStats with the controller's group-size
+// trajectory.
+type AdaptiveStats = core.AdaptiveStats
+
+// RunAdaptive executes the dependence with an online group-size
+// controller: groups widen while speculation keeps succeeding and narrow
+// after aborts. This extends the paper along its stated future-work axis —
+// the group cardinality becomes a run-time decision instead of an
+// autotuned constant — while preserving the §3.1 validation semantics
+// within every chunk.
+func (sd *StateDependence[I, S, O]) RunAdaptive(o AdaptiveOptions) ([]O, S, AdaptiveStats) {
+	dep := core.New(core.Compute[I, S, O](sd.compute), core.Aux[I, S](sd.aux), core.StateOps[S]{
+		Clone:    sd.clone,
+		MatchAny: sd.match,
+	})
+	return dep.RunAdaptive(sd.inputs, sd.initial, core.AdaptiveOptions{
+		Options: core.Options{
+			UseAux:    o.UseAux,
+			GroupSize: o.GroupSize,
+			Window:    o.Window,
+			RedoMax:   o.RedoMax,
+			Rollback:  o.Rollback,
+			Workers:   o.Workers,
+			Seed:      o.Seed,
+			Pool:      sd.sharedPool,
+		},
+		MinGroup:    o.MinGroup,
+		MaxGroup:    o.MaxGroup,
+		ChunkGroups: o.ChunkGroups,
+	})
+}

@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunAdaptive(t *testing.T) {
+	inputs := inputsN(60)
+	sd := NewStateDependence(inputs, counter{}, computeDouble)
+	sd.SetAuxiliary(func(r *Rand, init counter, recent []int) counter {
+		s := init
+		for _, v := range recent {
+			s.V += float64(v)
+		}
+		return s
+	})
+	sd.SetStateOps(nil, func(spec counter, originals []counter) bool {
+		for _, o := range originals {
+			if math.Abs(spec.V-o.V) < 1e-9 {
+				return true
+			}
+		}
+		return false
+	})
+	outs, final, ast := sd.RunAdaptive(AdaptiveOptions{
+		Options:  Options{UseAux: true, GroupSize: 2, Window: 8, RedoMax: 1, Rollback: 2, Workers: 4, Seed: 5},
+		MinGroup: 2, MaxGroup: 8, ChunkGroups: 2,
+	})
+	if len(outs) != 60 {
+		t.Fatalf("outputs: %d", len(outs))
+	}
+	if final.V != 1830 {
+		t.Fatalf("final: %v", final.V)
+	}
+	if ast.Chunks < 2 || len(ast.GroupSizes) != ast.Chunks {
+		t.Fatalf("trajectory: %+v", ast)
+	}
+}
+
+func TestRunAdaptiveWithSharedRuntime(t *testing.T) {
+	rt := NewRuntime(4)
+	defer rt.Close()
+	inputs := inputsN(24)
+	sd := Attach(rt, NewStateDependence(inputs, counter{}, computeDouble))
+	sd.SetAuxiliary(func(r *Rand, init counter, recent []int) counter {
+		s := init
+		for _, v := range recent {
+			s.V += float64(v)
+		}
+		return s
+	})
+	outs, _, _ := sd.RunAdaptive(AdaptiveOptions{
+		Options: Options{UseAux: true, GroupSize: 2, Window: 8, Workers: 4, Seed: 1},
+	})
+	if len(outs) != 24 {
+		t.Fatalf("outputs: %d", len(outs))
+	}
+	if rt.TasksExecuted() == 0 {
+		t.Fatal("shared pool unused")
+	}
+}

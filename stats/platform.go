@@ -1,0 +1,39 @@
+package stats
+
+import (
+	"repro/internal/energy"
+	"repro/internal/platform"
+)
+
+// The platform and energy types are re-exported so downstream users can
+// run the same simulated thread-sweep studies the evaluation harness uses
+// (e.g. to predict how their own state dependences would scale on a
+// machine they do not have).
+
+// Machine is a simulated multicore platform (sockets, cores, optional
+// Hyper-Threading, NUMA penalty).
+type Machine = platform.Machine
+
+// TaskGraph is a dependence graph of abstract work units schedulable on a
+// Machine.
+type TaskGraph = platform.Graph
+
+// SimResult reports a simulation: makespan and occupancy trace.
+type SimResult = platform.Result
+
+// EnergyModel integrates an affine power model over an occupancy trace.
+type EnergyModel = energy.Model
+
+// Haswell28 returns the paper's evaluation platform: two sockets with 14
+// cores each (§4.1), Hyper-Threading optional.
+func Haswell28(hyperThreading bool) Machine { return platform.Haswell28(hyperThreading) }
+
+// Simulate schedules the graph on the first `threads` hardware threads of
+// the machine and returns the makespan and occupancy trace.
+func Simulate(m Machine, g *TaskGraph, threads int) SimResult {
+	return platform.Simulate(m, g, threads)
+}
+
+// DefaultEnergyModel returns the power model calibrated to the paper's
+// platform (two 120 W packages plus system overhead).
+func DefaultEnergyModel() EnergyModel { return energy.Default() }

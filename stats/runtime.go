@@ -1,0 +1,35 @@
+package stats
+
+import "repro/internal/pool"
+
+// Runtime owns the worker pool the paper's runtime shares across all state
+// dependences ("an efficient thread pool implementation (shared with all
+// state dependences) to minimize thread creation overhead", §3.4). Attach
+// binds a StateDependence to it; unattached dependences create a private
+// pool per run.
+type Runtime struct {
+	pool *pool.Pool
+}
+
+// NewRuntime starts a shared runtime with the given worker width.
+func NewRuntime(workers int) *Runtime {
+	return &Runtime{pool: pool.New(workers)}
+}
+
+// Workers returns the pool width.
+func (rt *Runtime) Workers() int { return rt.pool.Workers() }
+
+// TasksExecuted returns the number of tasks the pool has completed, across
+// every attached dependence.
+func (rt *Runtime) TasksExecuted() int64 { return rt.pool.Executed() }
+
+// Close drains and stops the pool. Dependences attached to a closed
+// runtime fall back to inline execution.
+func (rt *Runtime) Close() { rt.pool.Close() }
+
+// Attach binds sd to the runtime's shared pool for its next run. It
+// returns sd for chaining.
+func Attach[I, S, O any](rt *Runtime, sd *StateDependence[I, S, O]) *StateDependence[I, S, O] {
+	sd.sharedPool = rt.pool
+	return sd
+}

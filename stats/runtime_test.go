@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestSharedRuntimeAcrossDependences(t *testing.T) {
+	rt := NewRuntime(4)
+	defer rt.Close()
+	if rt.Workers() != 4 {
+		t.Fatalf("workers: %d", rt.Workers())
+	}
+
+	inputs := inputsN(12)
+	match := func(spec counter, originals []counter) bool {
+		for _, o := range originals {
+			if math.Abs(spec.V-o.V) < 1e-9 {
+				return true
+			}
+		}
+		return false
+	}
+
+	build := func(seed uint64) *StateDependence[int, counter, int] {
+		sd := NewStateDependence(inputs, counter{}, computeDouble)
+		sd.SetAuxiliary(exactAux(inputs))
+		sd.SetStateOps(nil, match)
+		sd.Configure(Options{UseAux: true, GroupSize: 3, Window: 12, Seed: seed})
+		return Attach(rt, sd)
+	}
+
+	// Two dependences run concurrently on the same pool (the paper's
+	// shared-pool design).
+	a, b := build(1), build(2)
+	var wg sync.WaitGroup
+	for _, sd := range []*StateDependence[int, counter, int]{a, b} {
+		sd := sd
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outs, final, st := sd.Run()
+			if len(outs) != 12 || final.V != 78 {
+				t.Errorf("bad result: %d outputs, final %v", len(outs), final.V)
+			}
+			if st.Matches != 3 {
+				t.Errorf("matches: %d", st.Matches)
+			}
+		}()
+	}
+	wg.Wait()
+	if rt.TasksExecuted() == 0 {
+		t.Fatal("shared pool never used")
+	}
+}
+
+func TestClosedRuntimeFallsBackInline(t *testing.T) {
+	rt := NewRuntime(2)
+	rt.Close()
+	inputs := inputsN(6)
+	sd := Attach(rt, NewStateDependence(inputs, counter{}, computeDouble))
+	sd.SetAuxiliary(exactAux(inputs))
+	sd.Configure(Options{UseAux: true, GroupSize: 2, Window: 6, Seed: 3})
+	outs, final, _ := sd.Run()
+	if len(outs) != 6 || final.V != 21 {
+		t.Fatalf("inline fallback broken: %d outputs, final %v", len(outs), final.V)
+	}
+}
+
+func TestRuntimeCloseIdempotent(t *testing.T) {
+	rt := NewRuntime(1)
+	rt.Close()
+	rt.Close()
+}

@@ -1,0 +1,190 @@
+// Package stats is the public API of this STATS reproduction: the State
+// Dependence Interface (SDI) and Tradeoff Interface (TI) of §3.3, backed by
+// the speculative runtime of §3.1 and the autotuner of §3.5.
+//
+// A state dependence is the code pattern of Figure 4: a chain of
+// invocations (O_i, S_{i+1}) = computeOutput(I_i, S_i) serialized by the
+// state S. If the computation is nondeterministic and an alternative
+// producer ("auxiliary code") can rebuild an acceptable S from the initial
+// state plus a few recent inputs, the runtime overlaps groups of
+// invocations, validates the auxiliary states against (possibly
+// re-executed) original states, and falls back to conventional execution
+// when validation fails — preserving output quality by construction.
+//
+// Minimal use, mirroring Figure 8:
+//
+//	sd := stats.NewStateDependence(inputs, initialState, computeOutput)
+//	sd.SetAuxiliary(auxCode)
+//	sd.SetStateOps(cloneState, matchAny)
+//	sd.Configure(stats.Options{UseAux: true, GroupSize: 8, Window: 2, RedoMax: 2, Rollback: 2, Workers: 8})
+//	sd.Start()
+//	outputs, final, runStats := sd.Join()
+package stats
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/pool"
+	"repro/internal/rng"
+)
+
+// Rand is the per-invocation randomness source handed to compute and
+// auxiliary functions. Re-executions after a rollback receive fresh
+// sources; that is what gives the runtime multiple original states to
+// validate against.
+type Rand = rng.Source
+
+// ComputeFunc is the state-dependence target (computeOutput in Figure 8).
+type ComputeFunc[I, S, O any] func(r *Rand, input I, state S) (O, S)
+
+// AuxFunc is auxiliary code: an alternative producer of the state from the
+// initial state and a window of recent inputs.
+type AuxFunc[I, S any] func(r *Rand, initial S, recent []I) S
+
+// CloneFunc is the state privatization method (operator= in Figure 9).
+type CloneFunc[S any] func(S) S
+
+// MatchFunc is doesSpecStateMatchAny: whether a speculative state is
+// acceptable given the set of original states produced so far.
+type MatchFunc[S any] func(speculative S, originals []S) bool
+
+// Options configures one execution; every field is a state-space dimension
+// the autotuner can set (§3.3).
+type Options struct {
+	// UseAux enables speculation; false is the conventional baseline.
+	UseAux bool
+	// GroupSize is the input-group cardinality the runtime overlaps.
+	GroupSize int
+	// Window is how many previous inputs the auxiliary code consumes.
+	Window int
+	// RedoMax bounds re-executions of the original producer per
+	// validation.
+	RedoMax int
+	// Rollback is how many inputs a re-execution goes back.
+	Rollback int
+	// Workers is the runtime's worker-pool width (defaults to 1).
+	Workers int
+	// Seed fixes the run's randomness; runs with equal seeds and
+	// options are reproducible.
+	Seed uint64
+}
+
+// RunStats reports what the runtime did: group counts, speculative commits,
+// re-executions, aborts, and work accounting.
+type RunStats = core.Stats
+
+// StateDependence makes the Figure 4 pattern explicit to the runtime
+// (Figure 9). Create one with NewStateDependence, optionally attach
+// auxiliary code and state methods, Configure it, then Start and Join.
+type StateDependence[I, S, O any] struct {
+	inputs  []I
+	initial S
+	compute ComputeFunc[I, S, O]
+	aux     AuxFunc[I, S]
+	clone   CloneFunc[S]
+	match   MatchFunc[S]
+	opts    Options
+	// sharedPool, when set by Attach, supplies the Runtime's worker pool
+	// instead of a per-run private pool.
+	sharedPool *pool.Pool
+
+	done    chan struct{}
+	outputs []O
+	final   S
+	stats   RunStats
+	started bool
+}
+
+// NewStateDependence builds a state dependence over the given inputs,
+// initial state, and compute target. By default states are copied by value
+// (suitable for value-type states); attach a deep clone with SetStateOps
+// when the state contains references.
+func NewStateDependence[I, S, O any](inputs []I, initial S, compute ComputeFunc[I, S, O]) *StateDependence[I, S, O] {
+	if compute == nil {
+		panic("stats: nil compute function")
+	}
+	return &StateDependence[I, S, O]{
+		inputs:  inputs,
+		initial: initial,
+		compute: compute,
+		clone:   func(s S) S { return s },
+	}
+}
+
+// SetAuxiliary attaches the auxiliary code. Without it, the dependence is
+// always satisfied conventionally.
+func (sd *StateDependence[I, S, O]) SetAuxiliary(aux AuxFunc[I, S]) *StateDependence[I, S, O] {
+	sd.aux = aux
+	return sd
+}
+
+// SetStateOps attaches the state privatization method and the acceptance
+// method. A nil match accepts speculative states by construction (the
+// paper's swaptions/streamcluster/streamclassifier cases).
+func (sd *StateDependence[I, S, O]) SetStateOps(clone CloneFunc[S], match MatchFunc[S]) *StateDependence[I, S, O] {
+	if clone != nil {
+		sd.clone = clone
+	}
+	sd.match = match
+	return sd
+}
+
+// Configure sets the execution options.
+func (sd *StateDependence[I, S, O]) Configure(o Options) *StateDependence[I, S, O] {
+	sd.opts = o
+	return sd
+}
+
+// ErrAlreadyStarted is returned by Start when called twice.
+var ErrAlreadyStarted = errors.New("stats: state dependence already started")
+
+// Start begins the execution model of §3.1 in parallel with the invoking
+// goroutine (the start() of Figure 9).
+func (sd *StateDependence[I, S, O]) Start() error {
+	if sd.started {
+		return ErrAlreadyStarted
+	}
+	sd.started = true
+	sd.done = make(chan struct{})
+	go func() {
+		defer close(sd.done)
+		sd.outputs, sd.final, sd.stats = sd.run()
+	}()
+	return nil
+}
+
+// Join waits until all inputs are correctly processed (the join() of
+// Figure 9) and returns the outputs in input order, the final state, and
+// the run statistics. Calling Join without Start runs synchronously.
+func (sd *StateDependence[I, S, O]) Join() ([]O, S, RunStats) {
+	if !sd.started {
+		sd.outputs, sd.final, sd.stats = sd.run()
+		sd.started = true
+		return sd.outputs, sd.final, sd.stats
+	}
+	<-sd.done
+	return sd.outputs, sd.final, sd.stats
+}
+
+// Run executes synchronously: Start + Join.
+func (sd *StateDependence[I, S, O]) Run() ([]O, S, RunStats) {
+	return sd.Join()
+}
+
+func (sd *StateDependence[I, S, O]) run() ([]O, S, RunStats) {
+	dep := core.New(core.Compute[I, S, O](sd.compute), core.Aux[I, S](sd.aux), core.StateOps[S]{
+		Clone:    sd.clone,
+		MatchAny: sd.match,
+	})
+	return dep.Run(sd.inputs, sd.initial, core.Options{
+		UseAux:    sd.opts.UseAux,
+		GroupSize: sd.opts.GroupSize,
+		Window:    sd.opts.Window,
+		RedoMax:   sd.opts.RedoMax,
+		Rollback:  sd.opts.Rollback,
+		Workers:   sd.opts.Workers,
+		Seed:      sd.opts.Seed,
+		Pool:      sd.sharedPool,
+	})
+}

@@ -1,0 +1,56 @@
+package stats
+
+import "repro/internal/core"
+
+// Committed is one streamed output: its input index and value.
+type Committed[O any] struct {
+	Index  int
+	Output O
+}
+
+// RunStream executes the dependence and calls emit, in input order, the
+// moment each output stops being speculative (§3.1's commit points): a
+// group's outputs when the next boundary's validation resolves, the last
+// group's at completion, fallback outputs as they compute. emit runs on
+// the coordinating goroutine — keep it light or hand off to a channel.
+func (sd *StateDependence[I, S, O]) RunStream(emit func(index int, output O)) ([]O, S, RunStats) {
+	dep := core.New(core.Compute[I, S, O](sd.compute), core.Aux[I, S](sd.aux), core.StateOps[S]{
+		Clone:    sd.clone,
+		MatchAny: sd.match,
+	})
+	return dep.RunStream(sd.inputs, sd.initial, core.Options{
+		UseAux:    sd.opts.UseAux,
+		GroupSize: sd.opts.GroupSize,
+		Window:    sd.opts.Window,
+		RedoMax:   sd.opts.RedoMax,
+		Rollback:  sd.opts.Rollback,
+		Workers:   sd.opts.Workers,
+		Seed:      sd.opts.Seed,
+		Pool:      sd.sharedPool,
+	}, core.Emit[O](emit))
+}
+
+// StartStream begins execution in the background and returns a channel of
+// committed outputs (closed when the run finishes) plus a join function
+// returning the final results. The channel is buffered to the input
+// count, so the runtime never blocks on a slow consumer.
+func (sd *StateDependence[I, S, O]) StartStream() (<-chan Committed[O], func() ([]O, S, RunStats)) {
+	ch := make(chan Committed[O], len(sd.inputs))
+	type result struct {
+		outs  []O
+		final S
+		st    RunStats
+	}
+	done := make(chan result, 1)
+	go func() {
+		outs, final, st := sd.RunStream(func(i int, o O) {
+			ch <- Committed[O]{Index: i, Output: o}
+		})
+		close(ch)
+		done <- result{outs, final, st}
+	}()
+	return ch, func() ([]O, S, RunStats) {
+		r := <-done
+		return r.outs, r.final, r.st
+	}
+}

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func streamingSD(n int) *StateDependence[int, counter, int] {
+	inputs := inputsN(n)
+	sd := NewStateDependence(inputs, counter{}, computeDouble)
+	sd.SetAuxiliary(exactAux(inputs))
+	sd.SetStateOps(nil, func(spec counter, originals []counter) bool {
+		for _, o := range originals {
+			if math.Abs(spec.V-o.V) < 1e-9 {
+				return true
+			}
+		}
+		return false
+	})
+	sd.Configure(Options{UseAux: true, GroupSize: 4, Window: 16, Workers: 4, Seed: 9})
+	return sd
+}
+
+func TestRunStreamCallback(t *testing.T) {
+	var got []int
+	outs, _, st := streamingSD(16).RunStream(func(i int, o int) {
+		if i != len(got) {
+			t.Fatalf("out-of-order emission: %d at position %d", i, len(got))
+		}
+		got = append(got, o)
+	})
+	if len(got) != 16 {
+		t.Fatalf("emitted: %d", len(got))
+	}
+	for i := range got {
+		if got[i] != outs[i] {
+			t.Fatalf("emitted %d != returned %d at %d", got[i], outs[i], i)
+		}
+	}
+	if st.Matches != 3 {
+		t.Fatalf("matches: %d", st.Matches)
+	}
+}
+
+func TestStartStreamChannel(t *testing.T) {
+	ch, join := streamingSD(20).StartStream()
+	n := 0
+	for c := range ch {
+		if c.Index != n {
+			t.Fatalf("order: got %d want %d", c.Index, n)
+		}
+		if c.Output != (n+1)*2 {
+			t.Fatalf("value: %d at %d", c.Output, n)
+		}
+		n++
+	}
+	if n != 20 {
+		t.Fatalf("received: %d", n)
+	}
+	outs, final, _ := join()
+	if len(outs) != 20 || final.V != 210 {
+		t.Fatalf("join: %d outputs, final %v", len(outs), final.V)
+	}
+}
+
+func TestStartStreamSlowConsumer(t *testing.T) {
+	// The channel buffers the full input count: the runtime must finish
+	// even if the consumer only drains afterwards.
+	ch, join := streamingSD(32).StartStream()
+	outs, _, _ := join() // finish first
+	if len(outs) != 32 {
+		t.Fatalf("outputs: %d", len(outs))
+	}
+	n := 0
+	for range ch {
+		n++
+	}
+	if n != 32 {
+		t.Fatalf("drained: %d", n)
+	}
+}

@@ -1,0 +1,55 @@
+package stats
+
+import "repro/internal/tradeoff"
+
+// Tradeoff is the TI of §3.3: a piece of program text (constant, data
+// type, function) whose value is chosen from a developer-supplied range,
+// sorted by index. Auxiliary code receives private clones of the tradeoffs
+// it uses, so their indices can be tuned independently of the rest of the
+// program.
+type Tradeoff = tradeoff.T
+
+// TradeoffKind classifies a tradeoff's program text.
+type TradeoffKind = tradeoff.Kind
+
+// Tradeoff kinds.
+const (
+	ConstantTradeoff = tradeoff.Constant
+	TypeTradeoff     = tradeoff.Type
+	FunctionTradeoff = tradeoff.Function
+)
+
+// TradeoffOptions enumerates a tradeoff's legal values (Figure 10's
+// Tradeoff_options: getMaxIndex, getValue, getDefaultIndex).
+type TradeoffOptions = tradeoff.Options
+
+// IntRangeOptions is a TradeoffOptions over lo..hi with a default index.
+func IntRangeOptions(lo, hi, defaultIdx int64) TradeoffOptions {
+	return tradeoff.IntRange{Lo: lo, Hi: hi, Default: defaultIdx}
+}
+
+// EnumOptions is a TradeoffOptions over an explicit value list.
+func EnumOptions(defaultIdx int64, values ...any) TradeoffOptions {
+	return tradeoff.Enum{Values: values, Default: defaultIdx}
+}
+
+// NewTradeoff declares a tradeoff. It panics on malformed options, since a
+// tradeoff is developer-authored program text.
+func NewTradeoff(name string, kind TradeoffKind, opts TradeoffOptions) Tradeoff {
+	return tradeoff.New(name, kind, opts)
+}
+
+// Precision is the value domain for TypeTradeoff in this reproduction
+// (half/single/double), with quantization and cost helpers.
+type Precision = tradeoff.Precision
+
+// Precision levels.
+const (
+	Half   = tradeoff.Half
+	Single = tradeoff.Single
+	Double = tradeoff.Double
+)
+
+// PrecisionOptions returns the standard type-tradeoff options with double
+// as the default.
+func PrecisionOptions() TradeoffOptions { return tradeoff.PrecisionEnum() }
