@@ -1,0 +1,29 @@
+# STATS reproduction — build/verify entry points.
+#
+# `make test` is the tier-1 verify (ROADMAP.md). `make race` is the
+# concurrency tier: the whole suite under the race detector, including the
+# scheduler's Submit/SubmitBatch/Go-vs-Close stress tests in
+# internal/pool/race_test.go.
+
+GO ?= go
+
+.PHONY: build test race bench-pool bench
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Scheduler benchmarks: sharded work-stealing pool vs the single-channel
+# baseline, plus the engine's group fan-out across worker counts.
+bench-pool:
+	$(GO) test -run '^$$' -bench 'Submit|Fanout' -benchmem ./internal/pool ./internal/core
+
+# Full evaluation benchmarks (paper tables/figures). STATS_QUICK=1 scales
+# budgets down for smoke runs.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .

@@ -114,4 +114,9 @@ func accumulate(agg *Stats, st Stats) {
 	agg.UsefulInvocations += st.UsefulInvocations
 	agg.AuxCalls += st.AuxCalls
 	agg.AuxInputs += st.AuxInputs
+	agg.Steals += st.Steals
+	agg.LocalHits += st.LocalHits
+	if st.QueueDepthPeak > agg.QueueDepthPeak {
+		agg.QueueDepthPeak = st.QueueDepthPeak
+	}
 }

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
+	"repro/internal/pool"
 	"repro/internal/rng"
 )
 
@@ -57,6 +59,52 @@ func BenchmarkEngineAdaptive(b *testing.B) {
 				Workers: 8, Seed: uint64(i),
 			},
 			MaxGroup: 64,
+		})
+	}
+}
+
+// BenchmarkEngineGroupFanout mirrors the paper's thread sweeps on the
+// engine's hottest path: one speculative run per iteration, fanning its
+// groups out through the sharded scheduler at each worker count. Compare
+// against internal/pool's single-channel baseline benchmarks for the
+// scheduler's contribution.
+func BenchmarkEngineGroupFanout(b *testing.B) {
+	inputs := benchInputs(1024)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w=%d", workers), func(b *testing.B) {
+			p := pool.New(workers)
+			defer p.Close()
+			d := New(cheapCompute, sumAux, walkOps())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Run(inputs, walkState{}, Options{
+					UseAux: true, GroupSize: 32, Window: 32, RedoMax: 1,
+					Rollback: 4, Pool: p, Seed: uint64(i),
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkEngineSubmitBatchVsLoop isolates the fan-out operation itself:
+// the same speculative run shapes, shared pool, measured end to end — the
+// batch path is what Run uses; the per-task loop is the pre-SubmitBatch
+// behaviour approximated by tiny group sizes (more, smaller batches).
+func BenchmarkEngineSubmitBatchVsLoop(b *testing.B) {
+	inputs := benchInputs(1024)
+	for _, g := range []int{8, 64} {
+		b.Run(fmt.Sprintf("group=%d", g), func(b *testing.B) {
+			p := pool.New(4)
+			defer p.Close()
+			d := New(cheapCompute, sumAux, walkOps())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Run(inputs, walkState{}, Options{
+					UseAux: true, GroupSize: g, Window: g, Pool: p, Seed: uint64(i),
+				})
+			}
 		})
 	}
 }

@@ -106,6 +106,17 @@ type Stats struct {
 	// inputs they consumed.
 	AuxCalls  int
 	AuxInputs int
+
+	// Scheduler counters, deltas over this run of the worker pool's
+	// sharded work-stealing dispatcher (§3.4 runtime). Steals are
+	// cross-worker dispatches, LocalHits the contention-free local-deque
+	// fast path. On a shared pool with concurrent runs the deltas
+	// attribute pool-wide activity to each overlapping run.
+	Steals    int64
+	LocalHits int64
+	// QueueDepthPeak is the pool's peak single-deque depth as of the end
+	// of the run (a lifetime high-water mark, not a delta).
+	QueueDepthPeak int64
 }
 
 // Dependence is a runnable state dependence: the compute target, its
@@ -279,17 +290,19 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 		p = pool.New(w)
 		defer p.Close()
 	}
+	sched := p.Metrics() // baseline for this run's scheduler deltas
 	var invocations atomic.Int64
 	var wg sync.WaitGroup
 	// A panic in user code on a pool worker would kill the process;
 	// capture the first one and re-raise it on the coordinating
 	// goroutine so callers can recover it like any synchronous panic.
 	var panicked atomic.Value
+	tasks := make([]pool.Task, numGroups)
 	for j := 0; j < numGroups; j++ {
 		j := j
 		gr := groups[j]
 		wg.Add(1)
-		task := func() {
+		tasks[j] = func() {
 			defer wg.Done()
 			defer close(gr.done)
 			defer func() {
@@ -303,7 +316,12 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 			}()
 			d.executeGroup(execSrcs[j], inputs, gr, opts.Rollback, &invocations)
 		}
-		if err := p.Submit(task); err != nil {
+	}
+	// Fan the whole group set out in one batch operation; a closed pool
+	// leaves a suffix unqueued, which runs inline on the coordinator.
+	nq, err := p.SubmitBatch(tasks)
+	if err != nil {
+		for _, task := range tasks[nq:] {
 			task()
 		}
 	}
@@ -383,6 +401,7 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 		emitExec(emit, committed[numGroups-1], groups[numGroups-1].start)
 		st.Invocations += invocations.Load()
 		st.UsefulInvocations += int64(n) // one committed invocation per input
+		captureScheduler(st, p, sched)
 		return outs, committed[numGroups-1].final, *st
 	}
 
@@ -408,7 +427,17 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 	fbOuts, final := d.runSequential(root, inputs[fallbackStart:], committed[abortAt-1].final, st, emit, fallbackStart)
 	outs = append(outs, fbOuts...)
 	st.UsefulInvocations += int64(fallbackStart)
+	captureScheduler(st, p, sched)
 	return outs, final, *st
+}
+
+// captureScheduler fills the run's scheduler counters as deltas against the
+// pool-metrics baseline taken before the group fan-out.
+func captureScheduler(st *Stats, p *pool.Pool, before pool.Metrics) {
+	m := p.Metrics()
+	st.Steals = m.Steals - before.Steals
+	st.LocalHits = m.LocalHits - before.LocalHits
+	st.QueueDepthPeak = m.QueueDepthPeak
 }
 
 // emitExec streams one committed execution's outputs.

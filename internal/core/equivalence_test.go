@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Metamorphic speculation/sequential equivalence: with a perfectly-matching
+// auxiliary function and RedoMax=0, a speculative run must commit outputs
+// byte-identical to the sequential baseline for the same seed, across
+// GroupSize/Window combinations and worker counts. This is the engine's
+// quality-preservation contract in its purest form — when every validation
+// succeeds, speculation must be observationally invisible.
+
+// renderRun serializes a run's observable result (outputs and final state)
+// to a byte string for exact comparison.
+func renderRun(outs []int, final walkState) string {
+	return fmt.Sprintf("%v|%.17g", outs, final.V)
+}
+
+func TestSpeculativeEquivalentToSequential(t *testing.T) {
+	inputs := seqInputs(96)
+	for _, g := range []int{2, 3, 4, 8, 16, 32} {
+		for _, win := range []int{1, 2, 4, 8, 16} {
+			for _, workers := range []int{1, 2, 4, 8} {
+				seed := uint64(g*1000 + win*10 + workers)
+
+				seq := New(deterministicCompute, nil, walkOps())
+				seqOuts, seqFinal, seqSt := seq.Run(inputs, walkState{}, Options{Seed: seed})
+				if seqSt.Groups != 1 {
+					t.Fatalf("baseline not sequential: %d groups", seqSt.Groups)
+				}
+
+				d := New(deterministicCompute, exactAuxFor(inputs), walkOps())
+				outs, final, st := d.Run(inputs, walkState{}, Options{
+					UseAux: true, GroupSize: g, Window: win, RedoMax: 0,
+					Workers: workers, Seed: seed,
+				})
+
+				name := fmt.Sprintf("g=%d win=%d workers=%d", g, win, workers)
+				if st.Aborts != 0 {
+					t.Fatalf("%s: perfect aux aborted %d times (%+v)", name, st.Aborts, st)
+				}
+				if st.Redos != 0 {
+					t.Fatalf("%s: redos with RedoMax=0: %d", name, st.Redos)
+				}
+				if want := st.Groups - 1; st.Matches != want {
+					t.Fatalf("%s: matches %d, want %d", name, st.Matches, want)
+				}
+				if got, want := renderRun(outs, final), renderRun(seqOuts, seqFinal); got != want {
+					t.Fatalf("%s: speculative run diverged from sequential:\n got %s\nwant %s",
+						name, got, want)
+				}
+				if st.SpeculativeCommits != len(inputs)-g {
+					t.Fatalf("%s: speculative commits %d, want %d",
+						name, st.SpeculativeCommits, len(inputs)-g)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamEquivalence repeats the metamorphic check through the streaming
+// entry point: emitted (index, output) pairs must reproduce the sequential
+// run's outputs in input order.
+func TestStreamEquivalence(t *testing.T) {
+	inputs := seqInputs(64)
+	for _, g := range []int{4, 8} {
+		seed := uint64(7 + g)
+		seq := New(deterministicCompute, nil, walkOps())
+		seqOuts, _, _ := seq.Run(inputs, walkState{}, Options{Seed: seed})
+
+		d := New(deterministicCompute, exactAuxFor(inputs), walkOps())
+		got := make([]int, len(inputs))
+		seen := make([]bool, len(inputs))
+		outs, _, st := d.RunStream(inputs, walkState{}, Options{
+			UseAux: true, GroupSize: g, Window: 8, Workers: 4, Seed: seed,
+		}, func(i int, o int) {
+			got[i] = o
+			seen[i] = true
+		})
+		if st.Aborts != 0 {
+			t.Fatalf("g=%d: aborted", g)
+		}
+		for i := range seen {
+			if !seen[i] {
+				t.Fatalf("g=%d: output %d never emitted", g, i)
+			}
+		}
+		if fmt.Sprint(got) != fmt.Sprint(seqOuts) || fmt.Sprint(outs) != fmt.Sprint(seqOuts) {
+			t.Fatalf("g=%d: stream outputs diverged", g)
+		}
+	}
+}

@@ -91,12 +91,17 @@ func AblationTable(e *Env, w workload.Workload, dim AblationDim) *Table {
 }
 
 // SpecBehaviorPoint is one window value and the real engine's speculation
-// statistics there.
+// and scheduler statistics there.
 type SpecBehaviorPoint struct {
 	Window  int
 	Matches int
 	Redos   int
 	Aborts  int
+	// Steals and LocalHits are the work-stealing scheduler's dispatch
+	// counters over the same runs: how much of the group fan-out crossed
+	// workers versus hitting the local-deque fast path.
+	Steals    int64
+	LocalHits int64
 }
 
 // SpecBehavior runs the real engine across auxiliary-window sizes and
@@ -117,6 +122,8 @@ func SpecBehavior(e *Env, w workload.Workload) []SpecBehaviorPoint {
 			agg.Matches += st.Matches
 			agg.Redos += st.Redos
 			agg.Aborts += st.Aborts
+			agg.Steals += st.Steals
+			agg.LocalHits += st.LocalHits
 		}
 		out = append(out, agg)
 	}
@@ -127,13 +134,14 @@ func SpecBehavior(e *Env, w workload.Workload) []SpecBehaviorPoint {
 func SpecBehaviorTable(e *Env, w workload.Workload) *Table {
 	t := &Table{
 		Title:   fmt.Sprintf("Ablation — %s: real-engine speculation behaviour vs window", w.Desc().Name),
-		Columns: []string{"matches", "redos", "aborts"},
+		Columns: []string{"matches", "redos", "aborts", "steals", "local hits"},
 	}
 	for _, pt := range SpecBehavior(e, w) {
 		t.AddRow(fmt.Sprintf("window=%d", pt.Window),
-			fmt.Sprintf("%d", pt.Matches), fmt.Sprintf("%d", pt.Redos), fmt.Sprintf("%d", pt.Aborts))
+			fmt.Sprintf("%d", pt.Matches), fmt.Sprintf("%d", pt.Redos), fmt.Sprintf("%d", pt.Aborts),
+			fmt.Sprintf("%d", pt.Steals), fmt.Sprintf("%d", pt.LocalHits))
 	}
-	t.AddNote("3 real runs per point at the autotuned configuration; wider windows buy acceptance at auxiliary-work cost")
+	t.AddNote("3 real runs per point at the autotuned configuration; wider windows buy acceptance at auxiliary-work cost; steals/local hits are the sharded scheduler's dispatch split")
 	return t
 }
 

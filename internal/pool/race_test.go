@@ -1,0 +1,216 @@
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSubmitCloseStress hammers Submit, SubmitBatch and Go from many
+// goroutines while Close lands concurrently. Run under `go test -race`
+// (the `make race` tier) it proves the scheduler's claimed safety: no
+// send-on-closed-channel panic, no data race, and the accepted-implies-
+// executed contract — every task accepted before Close is executed by the
+// time Close returns.
+func TestSubmitCloseStress(t *testing.T) {
+	iters := 40
+	if testing.Short() {
+		iters = 5
+	}
+	for it := 0; it < iters; it++ {
+		p := New(1 + it%5)
+		var accepted, ran, goCalls, goRan atomic.Int64
+		task := func() { ran.Add(1) }
+
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 8; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for k := 0; ; k++ {
+					switch (g + k) % 3 {
+					case 0:
+						if p.Submit(task) != nil {
+							return
+						}
+						accepted.Add(1)
+					case 1:
+						batch := make([]Task, 1+k%7)
+						for i := range batch {
+							batch[i] = task
+						}
+						n, err := p.SubmitBatch(batch)
+						accepted.Add(int64(n))
+						if err != nil {
+							return
+						}
+					case 2:
+						goCalls.Add(1)
+						// Go never loses the task: it runs on the pool
+						// or inline on us after a rejection.
+						<-p.Go(func() { goRan.Add(1) })
+					}
+				}
+			}()
+		}
+		close(start)
+		time.Sleep(time.Duration(it%4) * 100 * time.Microsecond)
+		p.Close()
+		wg.Wait()
+
+		if ran.Load() != accepted.Load() {
+			t.Fatalf("iter %d: accepted %d tasks but %d ran", it, accepted.Load(), ran.Load())
+		}
+		if goRan.Load() != goCalls.Load() {
+			t.Fatalf("iter %d: %d Go calls but %d ran", it, goCalls.Load(), goRan.Load())
+		}
+		m := p.Metrics()
+		if m.Executed != accepted.Load()+goCalls.Load() {
+			t.Fatalf("iter %d: Executed %d, want %d accepted + %d Go",
+				it, m.Executed, accepted.Load(), goCalls.Load())
+		}
+		if m.Submitted != m.Executed-m.InlineRuns {
+			t.Fatalf("iter %d: Submitted %d, Executed %d, InlineRuns %d",
+				it, m.Submitted, m.Executed, m.InlineRuns)
+		}
+	}
+}
+
+// TestConcurrentCloseIsSafe races several Close calls against submitters;
+// Close must stay idempotent and the accepted-implies-executed contract
+// must survive.
+func TestConcurrentCloseIsSafe(t *testing.T) {
+	for it := 0; it < 20; it++ {
+		p := New(3)
+		var accepted, ran atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if p.Submit(func() { ran.Add(1) }) != nil {
+						return
+					}
+					accepted.Add(1)
+				}
+			}()
+		}
+		var cwg sync.WaitGroup
+		for c := 0; c < 3; c++ {
+			cwg.Add(1)
+			go func() {
+				defer cwg.Done()
+				p.Close()
+			}()
+		}
+		cwg.Wait()
+		wg.Wait()
+		// All Close calls returned; the first one waited for the drain,
+		// but late-accepted tasks may still race the no-op Closes, so
+		// settle via one more Close (idempotent, returns immediately).
+		p.Close()
+		if got, want := p.Executed(), accepted.Load(); got != want {
+			t.Fatalf("iter %d: executed %d, accepted %d", it, got, want)
+		}
+	}
+}
+
+// TestGoOnClosedPoolCountsExecuted is the regression test for the old
+// pool's accounting bug: a task rejected by Submit ran inline on the
+// caller but was never counted in Executed, skewing profiler overhead
+// attribution.
+func TestGoOnClosedPoolCountsExecuted(t *testing.T) {
+	p := New(2)
+	p.Close()
+	before := p.Executed()
+	var ran atomic.Bool
+	<-p.Go(func() { ran.Store(true) })
+	if !ran.Load() {
+		t.Fatal("fn did not run inline on closed pool")
+	}
+	if got := p.Executed(); got != before+1 {
+		t.Fatalf("Executed %d after inline fallback, want %d", got, before+1)
+	}
+	m := p.Metrics()
+	if m.InlineRuns != 1 {
+		t.Fatalf("InlineRuns %d, want 1", m.InlineRuns)
+	}
+}
+
+// TestSubmitBatchDeliversAll checks the batch path end to end, including a
+// batch larger than the pool's total deque capacity (which must block and
+// spill rather than drop).
+func TestSubmitBatchDeliversAll(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	const total = 4*shardCap + 57 // deliberately beyond total capacity
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(total)
+	tasks := make([]Task, total)
+	for i := range tasks {
+		tasks[i] = func() {
+			ran.Add(1)
+			wg.Done()
+		}
+	}
+	n, err := p.SubmitBatch(tasks)
+	if err != nil || n != total {
+		t.Fatalf("SubmitBatch = %d, %v; want %d, nil", n, err, total)
+	}
+	wg.Wait()
+	if ran.Load() != total {
+		t.Fatalf("ran %d/%d", ran.Load(), total)
+	}
+}
+
+// TestSubmitBatchOnClosedPool checks the suffix contract: a closed pool
+// returns how many tasks were enqueued so the caller can run the rest.
+func TestSubmitBatchOnClosedPool(t *testing.T) {
+	p := New(2)
+	p.Close()
+	tasks := []Task{func() {}, func() {}}
+	n, err := p.SubmitBatch(tasks)
+	if err != ErrClosed || n != 0 {
+		t.Fatalf("SubmitBatch on closed pool = %d, %v; want 0, ErrClosed", n, err)
+	}
+	if n, err := p.SubmitBatch(nil); n != 0 || err != nil {
+		t.Fatalf("empty batch = %d, %v; want 0, nil", n, err)
+	}
+}
+
+// TestStealsHappen forces an imbalanced load (every task submitted while
+// one worker sleeps on a long task) and checks that the other workers
+// steal: the pool must not serialize behind one deque.
+func TestStealsHappen(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var wg sync.WaitGroup
+	// A burst much wider than one deque's share; with 4 workers pulling,
+	// some dispatches must cross shards over enough iterations.
+	for round := 0; round < 50; round++ {
+		wg.Add(32)
+		for i := 0; i < 32; i++ {
+			p.Submit(func() {
+				time.Sleep(10 * time.Microsecond)
+				wg.Done()
+			})
+		}
+		wg.Wait()
+	}
+	m := p.Metrics()
+	if m.Steals == 0 && m.LocalHits == 0 {
+		t.Fatal("no dispatches recorded")
+	}
+	if m.Steals+m.LocalHits != m.Executed {
+		t.Fatalf("dispatch split %d+%d != executed %d", m.Steals, m.LocalHits, m.Executed)
+	}
+	if m.QueueDepthPeak < 1 {
+		t.Fatalf("queue depth peak %d", m.QueueDepthPeak)
+	}
+}

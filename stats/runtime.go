@@ -23,6 +23,36 @@ func (rt *Runtime) Workers() int { return rt.pool.Workers() }
 // every attached dependence.
 func (rt *Runtime) TasksExecuted() int64 { return rt.pool.Executed() }
 
+// SchedulerMetrics is a snapshot of the shared pool's work-stealing
+// dispatch counters, aggregated across every attached dependence.
+type SchedulerMetrics struct {
+	// Submitted counts tasks accepted by the scheduler; Executed counts
+	// completed tasks (InlineRuns of them ran on the caller because the
+	// pool was closed).
+	Submitted, Executed, InlineRuns int64
+	// Steals counts cross-worker dispatches; LocalHits counts tasks taken
+	// from the owning worker's local deque (the contention-free path).
+	Steals, LocalHits int64
+	// QueueDepthPeak is the highest per-worker queue depth observed;
+	// QueueDepths is the instantaneous depth of each worker's deque.
+	QueueDepthPeak int64
+	QueueDepths    []int
+}
+
+// Scheduler returns the runtime's current scheduler metrics.
+func (rt *Runtime) Scheduler() SchedulerMetrics {
+	m := rt.pool.Metrics()
+	return SchedulerMetrics{
+		Submitted:      m.Submitted,
+		Executed:       m.Executed,
+		InlineRuns:     m.InlineRuns,
+		Steals:         m.Steals,
+		LocalHits:      m.LocalHits,
+		QueueDepthPeak: m.QueueDepthPeak,
+		QueueDepths:    rt.pool.QueueDepths(),
+	}
+}
+
 // Close drains and stops the pool. Dependences attached to a closed
 // runtime fall back to inline execution.
 func (rt *Runtime) Close() { rt.pool.Close() }

@@ -53,6 +53,27 @@ func TestSharedRuntimeAcrossDependences(t *testing.T) {
 	if rt.TasksExecuted() == 0 {
 		t.Fatal("shared pool never used")
 	}
+	m := rt.Scheduler()
+	if m.Executed != rt.TasksExecuted() {
+		t.Fatalf("Scheduler().Executed %d != TasksExecuted %d", m.Executed, rt.TasksExecuted())
+	}
+	if m.Steals+m.LocalHits != m.Executed {
+		t.Fatalf("dispatch split %d+%d != executed %d", m.Steals, m.LocalHits, m.Executed)
+	}
+	if m.Submitted != m.Executed {
+		t.Fatalf("submitted %d != executed %d after both runs joined", m.Submitted, m.Executed)
+	}
+	if m.QueueDepthPeak < 1 {
+		t.Fatalf("queue depth peak %d", m.QueueDepthPeak)
+	}
+	if len(m.QueueDepths) != rt.Workers() {
+		t.Fatalf("queue depth gauges: %d, want %d", len(m.QueueDepths), rt.Workers())
+	}
+	for i, d := range m.QueueDepths {
+		if d != 0 {
+			t.Fatalf("worker %d deque not drained: depth %d", i, d)
+		}
+	}
 }
 
 func TestClosedRuntimeFallsBackInline(t *testing.T) {
