@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench-pool bench
+.PHONY: build test race bench-pool bench fuzz bench-obs
 
 build:
 	$(GO) build ./...
@@ -27,3 +27,18 @@ bench-pool:
 # budgets down for smoke runs.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Front-end parser fuzzing: FuzzParse checks accepted inputs round-trip
+# through a canonical re-rendering; FuzzTranslate checks translation
+# invariants. Go runs one fuzz target per invocation, so two runs.
+# Override the budget with FUZZTIME=1m etc.
+FUZZTIME ?= 10s
+
+fuzz:
+	$(GO) test ./internal/frontend -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/frontend -run '^$$' -fuzz '^FuzzTranslate$$' -fuzztime $(FUZZTIME)
+
+# Observability-layer benchmarks: the disabled fast path (must stay under
+# a handful of ns) and the enabled emit/observe costs.
+bench-obs:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/obs

@@ -7,6 +7,14 @@
 //
 //	statstrace -workload bodytrack -mode seq -threads 8            # Fig. 5a
 //	statstrace -workload bodytrack -mode parstats -threads 8 -aux  # Fig. 5b
+//	statstrace -workload bodytrack -live                           # observed run
+//	statstrace -workload bodytrack -live -chrome out.json          # + Chrome trace
+//
+// By default the chart comes from the platform simulator. With -live the
+// workload actually executes through the core engine with the
+// observability layer attached, and the chart is rebuilt from the
+// recorded speculation event log; -chrome additionally exports that log
+// as Chrome trace_event JSON (load it in chrome://tracing).
 package main
 
 import (
@@ -15,6 +23,7 @@ import (
 	"os"
 
 	"repro/internal/energy"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/taskgen"
 	"repro/internal/trace"
@@ -36,12 +45,21 @@ func main() {
 	rows := flag.Int("rows", 16, "max thread rows")
 	power := flag.Bool("power", false, "also render the modeled power timeline")
 	seed := flag.Uint64("seed", 7, "speculation-outcome seed")
+	live := flag.Bool("live", false, "execute the workload for real and render the observed event log")
+	chrome := flag.String("chrome", "", "with -live, also write the event log as Chrome trace_event JSON to this file")
 	flag.Parse()
 
 	w, err := registry.ByName(*name)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "statstrace:", err)
 		os.Exit(2)
+	}
+	if *live {
+		liveMain(w, *threads, *size, workload.SpecOptions{
+			UseAux: *aux, GroupSize: *group, Window: *window,
+			RedoMax: *redo, Rollback: *rollback, Workers: *threads,
+		}, *seed, *width, *rows, *chrome)
+		return
 	}
 	var mode taskgen.Mode
 	switch *modeFlag {
@@ -79,4 +97,52 @@ func main() {
 	seq := platform.Simulate(platform.Haswell28(false),
 		taskgen.Build(taskgen.Sequential, m, workload.SpecOptions{}, *seed), 1)
 	fmt.Printf("speedup vs single-threaded original: %.2fx\n", seq.Makespan/res.Makespan)
+}
+
+// liveMain runs the workload for real with the observability layer
+// attached and renders the recorded event log instead of a simulation.
+func liveMain(w workload.Workload, threads, size int, o workload.SpecOptions, seed uint64, width, rows int, chromePath string) {
+	d := w.Desc()
+	if !d.SupportsSTATS {
+		fmt.Fprintf(os.Stderr, "statstrace: %s does not support STATS: %s\n", d.Name, d.RejectReason)
+		os.Exit(2)
+	}
+	ob := obs.NewObserver(threads+1, 1<<14)
+	o.Obs = ob
+	_, st := w.RunSTATS(seed, size, o)
+	events := ob.Tracer.Snapshot()
+
+	fmt.Printf("%s, live, %d inputs, %d workers\n", d.Name, size, threads)
+	trace.RenderEvents(os.Stdout, events, trace.EventOptions{Width: width, MaxRows: rows})
+	if dropped := ob.Tracer.Dropped(); dropped > 0 {
+		fmt.Printf("(%d events evicted by the bounded rings)\n", dropped)
+	}
+	fmt.Printf("groups %d, speculative commits %d, redos %d, aborts %d\n",
+		st.Groups, st.SpeculativeCommits, st.Redos, st.Aborts)
+	fmt.Printf("validation latency p50 %dns p99 %dns over %d validations\n",
+		ob.ValidationLatencyNS.Quantile(0.5), ob.ValidationLatencyNS.Quantile(0.99),
+		ob.ValidationLatencyNS.Count())
+	fmt.Println()
+	fmt.Print(ob.Reg.Text())
+
+	if chromePath != "" {
+		if err := writeChromeTrace(chromePath, events); err != nil {
+			fmt.Fprintln(os.Stderr, "statstrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("chrome trace written to %s (load in chrome://tracing)\n", chromePath)
+	}
+}
+
+// writeChromeTrace exports events as Chrome trace_event JSON at path.
+func writeChromeTrace(path string, events []obs.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.ChromeTrace(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

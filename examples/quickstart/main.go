@@ -9,12 +9,22 @@
 // Run with:
 //
 //	go run ./examples/quickstart
+//	go run ./examples/quickstart -trace quickstart.json   # + Chrome trace
+//
+// With -trace, the run goes through a stats.Runtime (whose observability
+// layer is always on) and the recorded speculation event log is exported
+// as Chrome trace_event JSON — open chrome://tracing or
+// https://ui.perfetto.dev and load the file to see the overlapped groups,
+// validations and scheduler dispatches on a timeline.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math"
+	"os"
 
+	"repro/internal/trace"
 	"repro/stats"
 )
 
@@ -29,6 +39,9 @@ type estimate struct {
 }
 
 func main() {
+	tracePath := flag.String("trace", "", "write the observed speculation event log as Chrome trace_event JSON")
+	flag.Parse()
+
 	// A fixed input stream: a slow sine drift plus noise baked in at
 	// generation time (the input is the same for every run; only the
 	// filter's randomness varies).
@@ -89,10 +102,34 @@ func main() {
 		Seed:      42,
 	})
 
+	// With -trace, run through a shared Runtime so the observability
+	// layer records the speculation event log.
+	var rt *stats.Runtime
+	if *tracePath != "" {
+		rt = stats.NewRuntime(8)
+		defer rt.Close()
+		stats.Attach(rt, sd)
+	}
+
 	if err := sd.Start(); err != nil {
 		panic(err)
 	}
 	outputs, final, st := sd.Join()
+
+	if rt != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			panic(err)
+		}
+		if err := trace.ChromeTrace(f, rt.Trace()); err != nil {
+			panic(err)
+		}
+		if err := f.Close(); err != nil {
+			panic(err)
+		}
+		fmt.Printf("chrome trace with %d events written to %s (load in chrome://tracing)\n",
+			len(rt.Trace()), *tracePath)
+	}
 
 	fmt.Printf("processed %d readings in %d groups\n", st.Inputs, st.Groups)
 	fmt.Printf("speculative commits: %d inputs, matches: %d, redos: %d, aborts: %d\n",

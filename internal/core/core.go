@@ -22,7 +22,9 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/rng"
 )
@@ -76,6 +78,12 @@ type Options struct {
 	// Pool, when non-nil, supplies the shared worker pool; otherwise the
 	// engine creates a private pool of Options.Workers width for the run.
 	Pool *pool.Pool
+	// Obs, when non-nil, receives the run's speculation event log and
+	// metrics: the engine emits a trace event and updates the registry
+	// at every speculation decision point (group start/finish, auxiliary
+	// state production, validation match/mismatch, redo, abort, squash,
+	// fallback). A nil Obs costs one branch per decision point.
+	Obs *obs.Observer
 }
 
 // Stats reports what the runtime did during a run. The profiler and the
@@ -212,6 +220,7 @@ type execution[S, O any] struct {
 
 // groupRun holds the state of one input group during a speculative run.
 type groupRun[I, S, O any] struct {
+	idx        int // group index, used as the trace lane hint
 	start, end int // input index range [start, end)
 	specStart  S   // the state the group started from (spec or S0)
 
@@ -258,6 +267,7 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 		specSrcs[j] = root.Split()
 		execSrcs[j] = root.Split()
 		groups[j] = &groupRun[I, S, O]{
+			idx:     j,
 			start:   j * g,
 			end:     min(n, (j+1)*g),
 			redoSrc: root.Split(),
@@ -267,6 +277,7 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 
 	// Speculative start states: group 0 starts from the initial state;
 	// group j>0 from aux(S0, last `window` inputs before the group).
+	o := opts.Obs
 	groups[0].specStart = d.ops.Clone(initial)
 	for j := 1; j < numGroups; j++ {
 		lo := groups[j].start - window
@@ -277,6 +288,10 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 		groups[j].specStart = d.aux(specSrcs[j], d.ops.Clone(initial), recent)
 		st.AuxCalls++
 		st.AuxInputs += len(recent)
+		if o != nil {
+			o.AuxProduced.Inc()
+			o.Tracer.Emit(j, obs.EvAuxProduced, int32(j), int64(len(recent)))
+		}
 	}
 
 	// Launch every group; each runs its inputs sequentially from its
@@ -288,6 +303,10 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 			w = 1
 		}
 		p = pool.New(w)
+		// A private pool reports its scheduler events to this run's
+		// observer; a shared pool's observer is owned by whoever built
+		// the pool (stats.Runtime) and is left untouched.
+		p.SetObserver(o)
 		defer p.Close()
 	}
 	sched := p.Metrics() // baseline for this run's scheduler deltas
@@ -314,7 +333,7 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 					}
 				}
 			}()
-			d.executeGroup(execSrcs[j], inputs, gr, opts.Rollback, &invocations)
+			d.executeGroup(execSrcs[j], inputs, gr, opts.Rollback, &invocations, o)
 		}
 	}
 	// Fan the whole group set out in one batch operation; a closed pool
@@ -355,13 +374,27 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 		// executions was committed; re-executions below replace only
 		// the suffix after the checkpoint, so the originals set always
 		// extends the committed prefix.
+		var vstart time.Time
+		if o != nil {
+			vstart = time.Now()
+		}
 		originals := []S{committed[j-1].final}
 		matched := d.matchAny(cur.specStart, originals)
 		acceptedExec := committed[j-1]
+		if o != nil && !matched {
+			o.Mismatches.Inc()
+			o.Tracer.Emit(obs.LaneCoord, obs.EvValidateMismatch, int32(j), 0)
+		}
 
+		redosUsed := 0
 		for t := 0; !matched && t < redoMax; t++ {
+			if o != nil {
+				o.Redos.Inc()
+				o.Tracer.Emit(obs.LaneCoord, obs.EvRedo, int32(j), int64(t+1))
+			}
 			redo := d.redoGroup(prev, inputs, &invocations)
 			st.Redos++
+			redosUsed++
 			originals = append(originals, redo.final)
 			if d.matchAny(cur.specStart, originals) {
 				matched = true
@@ -373,6 +406,12 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 
 		if matched {
 			st.Matches++
+			if o != nil {
+				o.Matches.Inc()
+				o.Tracer.Emit(obs.LaneCoord, obs.EvValidateMatch, int32(j), int64(redosUsed))
+				o.ValidationLatencyNS.Observe(time.Since(vstart).Nanoseconds())
+				o.RedosPerValidation.Observe(int64(redosUsed))
+			}
 			committed[j-1] = acceptedExec
 			committed[j] = cur.base
 			emitExec(emit, committed[j-1], groups[j-1].start)
@@ -381,9 +420,19 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 
 		// Speculation failed: abort this and all subsequent groups.
 		st.Aborts++
+		if o != nil {
+			o.Aborts.Inc()
+			o.Tracer.Emit(obs.LaneCoord, obs.EvAbort, int32(j), int64(redosUsed))
+			o.ValidationLatencyNS.Observe(time.Since(vstart).Nanoseconds())
+			o.RedosPerValidation.Observe(int64(redosUsed))
+		}
 		abortAt = j
 		for k := j; k < numGroups; k++ {
 			groups[k].aborted.Store(true)
+			if o != nil {
+				o.Squashes.Inc()
+				o.Tracer.Emit(obs.LaneCoord, obs.EvSquash, int32(k), int64(groups[k].end-groups[k].start))
+			}
 		}
 		break
 	}
@@ -424,6 +473,10 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 
 	fallbackStart := groups[abortAt].start
 	st.FallbackInputs = n - fallbackStart
+	if o != nil {
+		o.FallbackInputs.Add(int64(n - fallbackStart))
+		o.Tracer.Emit(obs.LaneCoord, obs.EvFallback, int32(abortAt), int64(n-fallbackStart))
+	}
 	fbOuts, final := d.runSequential(root, inputs[fallbackStart:], committed[abortAt-1].final, st, emit, fallbackStart)
 	outs = append(outs, fbOuts...)
 	st.UsefulInvocations += int64(fallbackStart)
@@ -453,7 +506,9 @@ func emitExec[S, O any](emit Emit[O], exec execution[S, O], base int) {
 // executeGroup runs one group's inputs sequentially from its start state,
 // recording the checkpoint needed for re-executions. If the group is
 // aborted mid-flight it bails out early; its results are then never read.
-func (d *Dependence[I, S, O]) executeGroup(r *rng.Source, inputs []I, gr *groupRun[I, S, O], rollback int, invocations *atomic.Int64) {
+// Group start/finish events go to ob (nil-checked) so the observed
+// schedule shows every group's execution span, squashed or not.
+func (d *Dependence[I, S, O]) executeGroup(r *rng.Source, inputs []I, gr *groupRun[I, S, O], rollback int, invocations *atomic.Int64, ob *obs.Observer) {
 	length := gr.end - gr.start
 	w := rollback
 	if w < 1 {
@@ -464,14 +519,17 @@ func (d *Dependence[I, S, O]) executeGroup(r *rng.Source, inputs []I, gr *groupR
 	}
 	checkpointAt := gr.end - w
 
+	if ob != nil {
+		ob.GroupsStarted.Inc()
+		ob.Tracer.Emit(gr.idx, obs.EvGroupStart, int32(gr.idx), int64(gr.start))
+	}
 	s := d.ops.Clone(gr.specStart)
 	outs := make([]O, 0, length)
 	gr.checkpointAt = checkpointAt
 	for idx := gr.start; idx < gr.end; idx++ {
 		if gr.aborted.Load() {
 			// Squashed: record what we have; it will be discarded.
-			gr.base = execution[S, O]{outputs: outs, final: s}
-			return
+			break
 		}
 		if idx == checkpointAt {
 			gr.checkpoint = d.ops.Clone(s)
@@ -482,6 +540,10 @@ func (d *Dependence[I, S, O]) executeGroup(r *rng.Source, inputs []I, gr *groupR
 		outs = append(outs, o)
 	}
 	gr.base = execution[S, O]{outputs: outs, final: s}
+	if ob != nil {
+		ob.GroupsFinished.Inc()
+		ob.Tracer.Emit(gr.idx, obs.EvGroupFinish, int32(gr.idx), int64(len(outs)))
+	}
 }
 
 // redoGroup re-executes the suffix of a group after its checkpoint with

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestTracedAbortRaceStress runs the engine with tracing attached under
+// conditions that force validation mismatches, redos and aborts — a tight
+// acceptance tolerance against a noisy compute — while reader goroutines
+// snapshot the event log and scrape the registry the whole time. Under
+// `go test -race` (the `make race` tier) this is the observability
+// layer's end-to-end safety proof: coordinator validation events race
+// worker group-completion events and concurrent Snapshots, and nothing
+// tears. The counters must still reconcile with the engine's own Stats
+// once the run returns.
+func TestTracedAbortRaceStress(t *testing.T) {
+	inputs := seqInputs(48)
+	seeds := uint64(30)
+	if testing.Short() {
+		seeds = 6
+	}
+	var aborts, mismatches int
+	for seed := uint64(0); seed < seeds; seed++ {
+		// Ample per-lane capacity: the reconciliation below assumes no
+		// ring eviction.
+		ob := obs.NewObserver(8, 4096)
+
+		stop := make(chan struct{})
+		var rwg sync.WaitGroup
+		rwg.Add(2)
+		go func() {
+			defer rwg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					for _, e := range ob.Tracer.Snapshot() {
+						if e.Kind == obs.EvNone || e.Kind.String() == "unknown" {
+							t.Errorf("seed %d: torn event %+v", seed, e)
+							return
+						}
+					}
+				}
+			}
+		}()
+		go func() {
+			defer rwg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = ob.Reg.Text()
+				}
+			}
+		}()
+
+		d := New(nondetCompute, noiselessAuxFor(inputs), tolerantOps(0.35))
+		outs, _, st := d.Run(inputs, walkState{}, Options{
+			UseAux: true, GroupSize: 8, Window: 48, Workers: 4,
+			RedoMax: 1, Rollback: 2, Seed: seed, Obs: ob,
+		})
+		close(stop)
+		rwg.Wait()
+
+		checkOutputs(t, outs, wantOutputs(inputs))
+		if ob.Tracer.Dropped() != 0 {
+			t.Fatalf("seed %d: %d events evicted despite ample capacity", seed, ob.Tracer.Dropped())
+		}
+		if got := ob.Aborts.Value(); got != int64(st.Aborts) {
+			t.Fatalf("seed %d: observer aborts %d, engine %d", seed, got, st.Aborts)
+		}
+		if got := ob.Redos.Value(); got != int64(st.Redos) {
+			t.Fatalf("seed %d: observer redos %d, engine %d", seed, got, st.Redos)
+		}
+		if got := ob.Matches.Value(); got != int64(st.Matches) {
+			t.Fatalf("seed %d: observer matches %d, engine %d", seed, got, st.Matches)
+		}
+		var evAborts int
+		for _, e := range ob.Tracer.Snapshot() {
+			if e.Kind == obs.EvAbort {
+				evAborts++
+			}
+		}
+		if evAborts != st.Aborts {
+			t.Fatalf("seed %d: %d abort events, engine aborted %d times", seed, evAborts, st.Aborts)
+		}
+		aborts += st.Aborts
+		mismatches += int(ob.Mismatches.Value())
+	}
+	// The stress is only meaningful if the contested paths actually ran.
+	if mismatches == 0 {
+		t.Fatal("no validation ever mismatched; tolerance model broken")
+	}
+	if aborts == 0 {
+		t.Fatal("no abort ever happened; the abort/in-flight race went unexercised")
+	}
+}

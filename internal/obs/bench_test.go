@@ -1,0 +1,50 @@
+package obs
+
+import "testing"
+
+// BenchmarkEmitDisabled measures the engine's per-event cost with tracing
+// off: a nil-receiver check and return. The acceptance budget is <5 ns/op
+// — the "disabled tracing costs ~one branch" contract internal/core's
+// per-group hot path relies on.
+func BenchmarkEmitDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(0, EvGroupStart, 0, 0)
+	}
+}
+
+// BenchmarkObserverDisabledGroupPath measures the full per-group guard
+// sequence the engine executes when observability is off: one Observer
+// nil check covering a group's start/finish emissions and counters.
+func BenchmarkObserverDisabledGroupPath(b *testing.B) {
+	var o *Observer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if o != nil {
+			o.GroupsStarted.Inc()
+			o.Tracer.Emit(0, EvGroupStart, 0, 0)
+			o.GroupsFinished.Inc()
+			o.Tracer.Emit(0, EvGroupFinish, 0, 0)
+		}
+	}
+}
+
+// BenchmarkEmitEnabled is the enabled-path cost: a timestamp read plus a
+// handful of atomic stores into the lane's ring.
+func BenchmarkEmitEnabled(b *testing.B) {
+	tr := NewTracer(4, 1<<12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(0, EvGroupStart, 0, int64(i))
+	}
+}
+
+// BenchmarkHistogramObserve is the enabled metrics hot path.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := &Histogram{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}

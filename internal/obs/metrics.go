@@ -1,0 +1,315 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. A nil *Counter is
+// a valid no-op instrument: every method checks the receiver, so emission
+// sites pay one branch when metrics are disabled.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds d (d must be non-negative; counters only go up).
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v.Add(d)
+	}
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically-set instantaneous value. Like Counter, a nil
+// *Gauge is a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// SetMax raises the gauge to v if v exceeds the current value (a lock-free
+// high-water mark).
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.v.Load()
+		if v <= old || g.v.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the bucket count of a log-scale histogram: bucket 0 holds
+// values <= 0 and bucket i (1..64) holds values in [2^(i-1), 2^i).
+const histBuckets = 65
+
+// Histogram is a log-scale (power-of-two bucket) histogram of int64
+// observations, updated with plain atomics so concurrent Observe calls
+// never contend on a lock. It covers the full int64 range in 65 buckets —
+// coarse, but the quantities it observes (latencies in nanoseconds, queue
+// depths, redo counts) only need order-of-magnitude resolution. A nil
+// *Histogram is a no-op instrument.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	sum    atomic.Int64
+	count  atomic.Int64
+}
+
+// histBucket maps an observation to its bucket index.
+func histBucket(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// histBucketHi returns the inclusive upper bound of bucket i, used both as
+// the exposition "le" label and as the quantile estimate.
+func histBucketHi(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return int64(^uint64(0) >> 1) // MaxInt64
+	}
+	return int64(1)<<i - 1
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.counts[histBucket(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations (0 on a nil histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations (0 on a nil histogram).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (q in [0,1]):
+// the upper bound of the first bucket whose cumulative count reaches
+// q*Count. With power-of-two buckets the estimate is within 2x of the true
+// value, which is what log-scale percentile reporting promises.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i].Load()
+		if cum >= target {
+			return histBucketHi(i)
+		}
+	}
+	return histBucketHi(histBuckets - 1)
+}
+
+// Registry is a named collection of counters, gauges and histograms with a
+// deterministic plain-text exposition. Instruments are get-or-create by
+// name, so independent components can share a registry without
+// coordination. A nil *Registry hands out nil instruments, which are
+// themselves no-ops — disabling metrics is free at every layer.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. A nil registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// WriteText writes every instrument in the plain-text exposition format,
+// sorted by name so output is deterministic: counters and gauges as
+// `name value`; histograms as `_count`, `_sum`, `_p50`/`_p90`/`_p99`
+// quantile estimates and the non-empty `_bucket{le="..."}` series.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	r.mu.Unlock()
+
+	sort.Strings(names)
+	for _, n := range names {
+		if c, ok := counters[n]; ok {
+			if _, err := fmt.Fprintf(w, "%s %d\n", n, c.Value()); err != nil {
+				return err
+			}
+			continue
+		}
+		if g, ok := gauges[n]; ok {
+			if _, err := fmt.Fprintf(w, "%s %d\n", n, g.Value()); err != nil {
+				return err
+			}
+			continue
+		}
+		h := hists[n]
+		if _, err := fmt.Fprintf(w, "%s_count %d\n%s_sum %d\n%s_p50 %d\n%s_p90 %d\n%s_p99 %d\n",
+			n, h.Count(), n, h.Sum(), n, h.Quantile(0.5), n, h.Quantile(0.9), n, h.Quantile(0.99)); err != nil {
+			return err
+		}
+		var cum int64
+		for i := 0; i < histBuckets; i++ {
+			c := h.counts[i].Load()
+			if c == 0 {
+				continue
+			}
+			cum += c
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", n, histBucketHi(i), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Text returns the WriteText exposition as a string.
+func (r *Registry) Text() string {
+	var b strings.Builder
+	_ = r.WriteText(&b)
+	return b.String()
+}

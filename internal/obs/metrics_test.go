@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter %d, want 5", c.Value())
+	}
+	if r.Counter("c_total") != c {
+		t.Fatal("Counter must be get-or-create")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.SetMax(3) // lower: no effect
+	if g.Value() != 7 {
+		t.Fatalf("gauge %d, want 7", g.Value())
+	}
+	g.SetMax(11)
+	if g.Value() != 11 {
+		t.Fatalf("gauge %d, want 11", g.Value())
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var (
+		c *Counter
+		g *Gauge
+		h *Histogram
+		r *Registry
+	)
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.SetMax(2)
+	h.Observe(9)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	if err := r.WriteText(nil); err != nil {
+		t.Fatal(err)
+	}
+	if r.Text() != "" {
+		t.Fatal("nil registry text must be empty")
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := &Histogram{}
+	// 10 observations at 1 and 10 at 1000: p50 falls in the first
+	// bucket's range, p99 in the 1000 bucket ([512,1024) -> hi 1023).
+	for i := 0; i < 10; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1000)
+	}
+	if h.Count() != 20 || h.Sum() != 10+10*1000 {
+		t.Fatalf("count %d sum %d", h.Count(), h.Sum())
+	}
+	if q := h.Quantile(0.5); q != 1 {
+		t.Fatalf("p50 %d, want 1", q)
+	}
+	if q := h.Quantile(0.99); q != 1023 {
+		t.Fatalf("p99 %d, want 1023", q)
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Fatalf("p0 %d, want 1 (first non-empty bucket)", q)
+	}
+	if q := h.Quantile(1); q != 1023 {
+		t.Fatalf("p100 %d, want 1023", q)
+	}
+	// Non-positive observations land in bucket 0 with upper bound 0.
+	h2 := &Histogram{}
+	h2.Observe(0)
+	h2.Observe(-5)
+	if q := h2.Quantile(0.9); q != 0 {
+		t.Fatalf("non-positive quantile %d", q)
+	}
+}
+
+func TestWriteTextDeterministicExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Counter("a_total").Inc()
+	r.Gauge("depth_peak").SetMax(3)
+	h := r.Histogram("lat_ns")
+	h.Observe(100)
+	h.Observe(200)
+	got := r.Text()
+	want := strings.Join([]string{
+		"a_total 1",
+		"b_total 2",
+		"depth_peak 3",
+		"lat_ns_count 2",
+		"lat_ns_sum 300",
+		"lat_ns_p50 127",
+		"lat_ns_p90 255",
+		"lat_ns_p99 255",
+		"lat_ns_bucket{le=\"127\"} 1",
+		"lat_ns_bucket{le=\"255\"} 2",
+		"lat_ns_bucket{le=\"+Inf\"} 2",
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", got, want)
+	}
+	if r.Text() != got {
+		t.Fatal("exposition must be deterministic")
+	}
+}
+
+func TestObserverPreRegistersEverything(t *testing.T) {
+	o := NewObserver(4, 128)
+	if o.Tracer == nil || o.Reg == nil {
+		t.Fatal("observer missing tracer or registry")
+	}
+	if o.Tracer.Lanes() != 4 {
+		t.Fatalf("lanes %d", o.Tracer.Lanes())
+	}
+	o.Matches.Inc()
+	o.ValidationLatencyNS.Observe(1500)
+	text := o.Reg.Text()
+	for _, want := range []string{
+		"stats_validation_match_total 1",
+		"stats_validation_latency_ns_count 1",
+		"stats_aborts_total 0",
+		"sched_steals_total 0",
+		"sched_queue_depth_peak 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}

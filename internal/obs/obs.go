@@ -1,0 +1,116 @@
+// Package obs is the runtime observability layer: a lock-free speculation
+// event tracer and a registry of atomically-updated metrics, cheap enough
+// to leave enabled on a serving system.
+//
+// The paper's evaluation (§5, Fig. 5, Table 1) depends on seeing what the
+// speculator did — which groups speculated, which validations matched, how
+// many redos preceded each abort — and related work on execution replay
+// shows a low-overhead event log is the prerequisite for debugging and
+// tuning nondeterministic parallel executions. This package supplies that
+// substrate for the whole stack:
+//
+//   - Tracer: per-lane bounded ring buffers of timestamped Events. Writers
+//     never take a lock (per-slot sequence words make concurrent emit and
+//     Snapshot safe); a full ring overwrites its oldest records, so memory
+//     stays bounded no matter how long the runtime runs. Snapshot merges
+//     the lanes into one time-ordered log.
+//
+//   - Registry: named Counters, Gauges and log-scale Histograms backed by
+//     plain atomics, with a deterministic plain-text exposition format
+//     (WriteText) in the style every metrics scraper understands.
+//
+//   - Observer: the pre-registered instrument bundle the engine
+//     (internal/core) and the scheduler (internal/pool) write into.
+//     Every consumer hook sits behind a nil check: a nil *Observer,
+//     *Tracer, *Counter or *Histogram is a no-op, so disabled
+//     observability costs approximately one branch on the hot path.
+//
+// Event schema: every event carries a monotonic timestamp (nanoseconds
+// since the Tracer's epoch), the emitting lane, a kind, the group index it
+// concerns (or -1), and one kind-specific argument (input index, redo
+// attempt, queue depth, squashed input count). Scheduler events
+// (EvSteal/EvLocalHit/EvTaskFinish) use the lane as the worker id; engine
+// events key on Group and use the lane only as a shard hint.
+package obs
+
+// Observer bundles the tracer and the typed instruments the runtime
+// writes. Emission sites guard on a nil *Observer, so observability is a
+// per-run opt-in with a one-branch disabled cost.
+type Observer struct {
+	// Tracer receives the speculation event log. Never nil on an
+	// Observer built by NewObserver.
+	Tracer *Tracer
+	// Reg is the registry all the instruments below are registered in;
+	// WriteText on it exposes everything at once.
+	Reg *Registry
+
+	// GroupsStarted and GroupsFinished count group executions entering
+	// and leaving the engine's group runner (a squashed group still
+	// finishes).
+	GroupsStarted  *Counter
+	GroupsFinished *Counter
+	// AuxProduced counts auxiliary-code executions that produced a
+	// speculative start state.
+	AuxProduced *Counter
+	// Matches, Mismatches, Redos, Aborts and Squashes count validation
+	// outcomes: accepted boundaries, first-try rejections, original
+	// re-executions, aborted boundaries, and groups squashed by an
+	// abort.
+	Matches    *Counter
+	Mismatches *Counter
+	Redos      *Counter
+	Aborts     *Counter
+	Squashes   *Counter
+	// FallbackInputs counts inputs reprocessed sequentially after an
+	// abort.
+	FallbackInputs *Counter
+
+	// Steals, LocalHits and TasksDone count the scheduler's dispatches:
+	// cross-worker steals, contention-free local pops, and completed
+	// tasks.
+	Steals    *Counter
+	LocalHits *Counter
+	TasksDone *Counter
+
+	// ValidationLatencyNS observes the wall-clock nanoseconds each group
+	// boundary took to resolve (including redo re-executions).
+	ValidationLatencyNS *Histogram
+	// RedosPerValidation observes how many re-executions each boundary
+	// consumed; its Sum equals the Redos counter and its Count the
+	// number of validations.
+	RedosPerValidation *Histogram
+	// QueueDepth observes the scheduler's per-deque depth after every
+	// push; QueueDepthPeak tracks the lifetime maximum.
+	QueueDepth     *Histogram
+	QueueDepthPeak *Gauge
+}
+
+// NewObserver builds an Observer with a Tracer of the given lane count and
+// per-lane capacity (zero values pick defaults) and a fresh Registry with
+// every engine and scheduler instrument pre-registered.
+func NewObserver(lanes, perLaneCap int) *Observer {
+	reg := NewRegistry()
+	return &Observer{
+		Tracer: NewTracer(lanes, perLaneCap),
+		Reg:    reg,
+
+		GroupsStarted:  reg.Counter("stats_groups_started_total"),
+		GroupsFinished: reg.Counter("stats_groups_finished_total"),
+		AuxProduced:    reg.Counter("stats_aux_produced_total"),
+		Matches:        reg.Counter("stats_validation_match_total"),
+		Mismatches:     reg.Counter("stats_validation_mismatch_total"),
+		Redos:          reg.Counter("stats_redos_total"),
+		Aborts:         reg.Counter("stats_aborts_total"),
+		Squashes:       reg.Counter("stats_squashed_groups_total"),
+		FallbackInputs: reg.Counter("stats_fallback_inputs_total"),
+
+		Steals:    reg.Counter("sched_steals_total"),
+		LocalHits: reg.Counter("sched_local_hits_total"),
+		TasksDone: reg.Counter("sched_tasks_done_total"),
+
+		ValidationLatencyNS: reg.Histogram("stats_validation_latency_ns"),
+		RedosPerValidation:  reg.Histogram("stats_redos_per_validation"),
+		QueueDepth:          reg.Histogram("sched_queue_depth"),
+		QueueDepthPeak:      reg.Gauge("sched_queue_depth_peak"),
+	}
+}

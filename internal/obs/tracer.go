@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// EventKind identifies what a trace event records.
+type EventKind uint8
+
+// The event kinds emitted by the engine (internal/core) and the scheduler
+// (internal/pool). Engine events key on Event.Group; scheduler events
+// (EvSteal, EvLocalHit, EvTaskFinish) key on Event.Lane, the worker id.
+const (
+	// EvNone is the zero kind; it never appears in a snapshot.
+	EvNone EventKind = iota
+	// EvGroupStart marks a group execution starting on a worker.
+	// Arg is the group's first input index.
+	EvGroupStart
+	// EvGroupFinish marks a group execution returning (normally or via
+	// the squash fast-exit). Arg is the number of outputs produced.
+	EvGroupFinish
+	// EvAuxProduced marks auxiliary code producing a group's speculative
+	// start state. Arg is the window length consumed.
+	EvAuxProduced
+	// EvValidateMatch marks a boundary whose speculative state was
+	// accepted. Arg is the number of redos the acceptance consumed.
+	EvValidateMatch
+	// EvValidateMismatch marks a boundary whose first validation
+	// attempt rejected the speculative state.
+	EvValidateMismatch
+	// EvRedo marks one original-producer re-execution. Arg is the
+	// attempt number, starting at 1.
+	EvRedo
+	// EvAbort marks a boundary that exhausted its redo budget and
+	// aborted speculation. Arg is the redo budget consumed.
+	EvAbort
+	// EvSquash marks one group squashed by an abort. Arg is the number
+	// of inputs the squash discards.
+	EvSquash
+	// EvFallback marks the start of the sequential fallback after an
+	// abort. Arg is the number of inputs reprocessed.
+	EvFallback
+	// EvSteal marks a worker dispatching a task stolen from another
+	// worker's deque. Lane is the thief.
+	EvSteal
+	// EvLocalHit marks a worker dispatching a task from its own deque.
+	EvLocalHit
+	// EvTaskFinish marks a dispatched task completing on its worker.
+	EvTaskFinish
+
+	numEventKinds // sentinel, keep last
+)
+
+// eventKindNames maps kinds to their exposition names.
+var eventKindNames = [numEventKinds]string{
+	EvNone:             "none",
+	EvGroupStart:       "group-start",
+	EvGroupFinish:      "group-finish",
+	EvAuxProduced:      "aux-produced",
+	EvValidateMatch:    "validate-match",
+	EvValidateMismatch: "validate-mismatch",
+	EvRedo:             "redo",
+	EvAbort:            "abort",
+	EvSquash:           "squash",
+	EvFallback:         "fallback",
+	EvSteal:            "steal",
+	EvLocalHit:         "local-hit",
+	EvTaskFinish:       "task-finish",
+}
+
+// String returns the kind's stable exposition name.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return "unknown"
+}
+
+// LaneCoord is the lane engine coordinator events are emitted on (mapped
+// to the tracer's last ring); scheduler lanes are worker ids >= 0.
+const LaneCoord = -1
+
+// Event is one decoded trace record.
+type Event struct {
+	// TS is the event time in nanoseconds since the tracer's epoch
+	// (monotonic, comparable across lanes).
+	TS int64
+	// Lane is the lane the event was emitted on: the worker id for
+	// scheduler events, LaneCoord for engine coordinator events, and a
+	// shard hint (the group index) for group-execution events.
+	Lane int16
+	// Kind is what happened.
+	Kind EventKind
+	// Group is the speculation group the event concerns, or -1.
+	Group int32
+	// Arg is the kind-specific argument (see the kind constants).
+	Arg int64
+}
+
+// Slot sequence protocol: 0 = never written, seqBusy = write in progress,
+// ticket+seqBase = slot holds the event with that ring ticket.
+const (
+	seqBusy uint64 = 1
+	seqBase uint64 = 2
+)
+
+// tslot is one ring slot. Every word is atomic so concurrent Emit and
+// Snapshot are race-free: a writer publishes the payload before the
+// sequence word, and a reader validates the sequence word on both sides of
+// its payload read, discarding the slot on any mismatch.
+type tslot struct {
+	seq  atomic.Uint64
+	ts   atomic.Int64
+	meta atomic.Uint64
+	arg  atomic.Int64
+}
+
+// tring is one lane's bounded ring. pos is the ticket counter; slot
+// ticket%len holds the event, overwriting the record len tickets older.
+type tring struct {
+	pos   atomic.Uint64
+	_     [7]uint64 // keep neighbouring rings' hot counters off this line
+	slots []tslot
+}
+
+// DefaultLaneCap is the per-lane ring capacity used when NewTracer is
+// given a non-positive capacity: 4096 events × 32 bytes = 128 KiB/lane.
+const DefaultLaneCap = 4096
+
+// Tracer is a lock-free, bounded-memory speculation event log: one ring
+// per lane, written with Emit and read with Snapshot. A nil *Tracer is a
+// valid no-op sink — every method checks the receiver — which is the
+// disabled fast path the engine relies on.
+type Tracer struct {
+	epoch time.Time
+	rings []tring
+}
+
+// NewTracer returns a tracer with the given number of lanes (rounded up to
+// 1) and per-lane capacity (rounded up to the next power of two;
+// non-positive means DefaultLaneCap).
+func NewTracer(lanes, perLaneCap int) *Tracer {
+	if lanes < 1 {
+		lanes = 1
+	}
+	if perLaneCap <= 0 {
+		perLaneCap = DefaultLaneCap
+	}
+	capPow2 := 1
+	for capPow2 < perLaneCap {
+		capPow2 <<= 1
+	}
+	t := &Tracer{epoch: time.Now(), rings: make([]tring, lanes)}
+	for i := range t.rings {
+		t.rings[i].slots = make([]tslot, capPow2)
+	}
+	return t
+}
+
+// packMeta folds kind, lane and group into one word: kind in the top
+// byte, the lane's 16 bits below it, the group's 32 bits at the bottom.
+func packMeta(kind EventKind, lane int16, group int32) uint64 {
+	return uint64(kind)<<56 | uint64(uint16(lane))<<40 | uint64(uint32(group))
+}
+
+// unpackMeta is the inverse of packMeta.
+func unpackMeta(m uint64) (kind EventKind, lane int16, group int32) {
+	return EventKind(m >> 56), int16(uint16(m >> 40)), int32(uint32(m))
+}
+
+// Lanes returns the tracer's lane count (0 for a nil tracer).
+func (t *Tracer) Lanes() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.rings)
+}
+
+// Emit appends one event to the lane's ring, overwriting the oldest record
+// when the ring is full. It never blocks and takes no locks; on a nil
+// tracer it is a no-op, which is the disabled fast path. The lane is
+// reduced modulo the lane count (negative lanes, like LaneCoord, map to
+// the last ring) but recorded verbatim in the event.
+func (t *Tracer) Emit(lane int, kind EventKind, group int32, arg int64) {
+	if t == nil {
+		return
+	}
+	n := len(t.rings)
+	idx := lane % n
+	if idx < 0 {
+		idx += n
+	}
+	r := &t.rings[idx]
+	ticket := r.pos.Add(1) - 1
+	s := &r.slots[ticket&uint64(len(r.slots)-1)]
+	s.seq.Store(seqBusy)
+	s.ts.Store(int64(time.Since(t.epoch)))
+	s.meta.Store(packMeta(kind, int16(lane), group))
+	s.arg.Store(arg)
+	s.seq.Store(ticket + seqBase)
+}
+
+// Snapshot returns the currently-readable events of every lane merged into
+// time order (ties broken by lane, then kind, group and arg, so equal-input
+// snapshots are deterministic). It is safe to call concurrently with Emit:
+// slots being overwritten mid-read are detected via their sequence words
+// and skipped. A nil tracer yields nil.
+func (t *Tracer) Snapshot() []Event {
+	if t == nil {
+		return nil
+	}
+	var evs []Event
+	for ri := range t.rings {
+		r := &t.rings[ri]
+		pos := r.pos.Load()
+		capacity := uint64(len(r.slots))
+		lo := uint64(0)
+		if pos > capacity {
+			lo = pos - capacity
+		}
+		for ticket := lo; ticket < pos; ticket++ {
+			s := &r.slots[ticket&(capacity-1)]
+			want := ticket + seqBase
+			if s.seq.Load() != want {
+				continue // overwritten or mid-write
+			}
+			ts, meta, arg := s.ts.Load(), s.meta.Load(), s.arg.Load()
+			if s.seq.Load() != want {
+				continue // overwritten while we read the payload
+			}
+			kind, lane, group := unpackMeta(meta)
+			evs = append(evs, Event{TS: ts, Lane: lane, Kind: kind, Group: group, Arg: arg})
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.Lane != b.Lane {
+			return a.Lane < b.Lane
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Group != b.Group {
+			return a.Group < b.Group
+		}
+		return a.Arg < b.Arg
+	})
+	return evs
+}
+
+// Emitted returns the number of events ever emitted across all lanes.
+func (t *Tracer) Emitted() int64 {
+	if t == nil {
+		return 0
+	}
+	var n int64
+	for i := range t.rings {
+		n += int64(t.rings[i].pos.Load())
+	}
+	return n
+}
+
+// Dropped returns how many events have been evicted by ring wrap-around —
+// the price of bounded memory. Tests that assert on complete logs check
+// this is zero.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	var n int64
+	for i := range t.rings {
+		pos := int64(t.rings[i].pos.Load())
+		if c := int64(len(t.rings[i].slots)); pos > c {
+			n += pos - c
+		}
+	}
+	return n
+}

@@ -24,6 +24,8 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // ErrClosed is returned by Submit and SubmitBatch after Close has been
@@ -197,6 +199,12 @@ type Pool struct {
 	steals     atomic.Int64
 	localHits  atomic.Int64
 	maxDepth   atomic.Int64
+
+	// obsv, when set, receives per-dispatch trace events (steal,
+	// local-hit, task-finish on the worker's lane) and queue-depth
+	// metrics. Loaded once per dispatch; nil costs one atomic load and
+	// a branch.
+	obsv atomic.Pointer[obs.Observer]
 }
 
 // New returns a running pool with the given number of workers. A
@@ -225,6 +233,13 @@ func New(workers int) *Pool {
 // Workers returns the pool width.
 func (p *Pool) Workers() int { return p.workers }
 
+// SetObserver attaches (or, with nil, detaches) the observability sink:
+// every subsequent dispatch emits a steal/local-hit event and a
+// task-finish event on the executing worker's lane, and every push
+// observes the resulting deque depth. Safe to call concurrently with
+// running work.
+func (p *Pool) SetObserver(o *obs.Observer) { p.obsv.Store(o) }
+
 // Executed returns the number of tasks completed so far (including
 // closed-pool Go fallbacks run inline on the caller).
 func (p *Pool) Executed() int64 { return p.executed.Load() }
@@ -250,14 +265,19 @@ func (p *Pool) QueueDepths() []int {
 	return out
 }
 
-// noteDepth folds a post-push depth into the lifetime peak gauge.
+// noteDepth folds a post-push depth into the lifetime peak gauge and, when
+// an observer is attached, into its queue-depth histogram.
 func (p *Pool) noteDepth(depth int) {
 	d := int64(depth)
 	for {
 		old := p.maxDepth.Load()
 		if d <= old || p.maxDepth.CompareAndSwap(old, d) {
-			return
+			break
 		}
+	}
+	if o := p.obsv.Load(); o != nil {
+		o.QueueDepth.Observe(d)
+		o.QueueDepthPeak.SetMax(d)
 	}
 }
 
@@ -415,7 +435,7 @@ func (p *Pool) worker(i int) {
 	seed := uint64(i)*0x9E3779B97F4A7C15 + 0x9E3779B97F4A7C15
 	for {
 		if t, stolen, ok := p.next(i, &seed); ok {
-			p.run(t, stolen)
+			p.run(i, t, stolen)
 			continue
 		}
 		// Park. Declaring idleness before re-checking pending pairs with
@@ -438,21 +458,37 @@ func (p *Pool) worker(i int) {
 				if !ok {
 					return
 				}
-				p.run(t, stolen)
+				p.run(i, t, stolen)
 			}
 		}
 	}
 }
 
-// run executes one dispatched task and accounts it.
-func (p *Pool) run(t Task, stolen bool) {
+// run executes one dispatched task on worker i and accounts it. With an
+// observer attached, the dispatch emits a steal/local-hit event and the
+// completion a task-finish event, all on the worker's lane — the pairs the
+// live Gantt view turns into per-worker occupancy spans.
+func (p *Pool) run(i int, t Task, stolen bool) {
+	o := p.obsv.Load()
 	if stolen {
 		p.steals.Add(1)
+		if o != nil {
+			o.Steals.Inc()
+			o.Tracer.Emit(i, obs.EvSteal, -1, 0)
+		}
 	} else {
 		p.localHits.Add(1)
+		if o != nil {
+			o.LocalHits.Inc()
+			o.Tracer.Emit(i, obs.EvLocalHit, -1, 0)
+		}
 	}
 	t()
 	p.executed.Add(1)
+	if o != nil {
+		o.TasksDone.Inc()
+		o.Tracer.Emit(i, obs.EvTaskFinish, -1, 0)
+	}
 }
 
 // next dispatches one task for worker i: the front of its own deque, or a

@@ -5,6 +5,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // TestSubmitCloseStress hammers Submit, SubmitBatch and Go from many
@@ -212,5 +214,108 @@ func TestStealsHappen(t *testing.T) {
 	}
 	if m.QueueDepthPeak < 1 {
 		t.Fatalf("queue depth peak %d", m.QueueDepthPeak)
+	}
+}
+
+// TestTracedSubmitCloseStress repeats the Submit/Close hammer with the
+// observability layer attached and snapshots/scrapes racing the workers.
+// Under `go test -race` it proves the tracer's claim: Emit from every
+// worker concurrent with Snapshot and the metric scrape is race-free, and
+// the scheduler's dispatch counters agree with the pool's own metrics
+// once the pool has drained.
+func TestTracedSubmitCloseStress(t *testing.T) {
+	iters := 20
+	if testing.Short() {
+		iters = 4
+	}
+	for it := 0; it < iters; it++ {
+		workers := 1 + it%5
+		p := New(workers)
+		ob := obs.NewObserver(workers, 128)
+		p.SetObserver(ob)
+
+		var accepted, ran atomic.Int64
+		task := func() { ran.Add(1) }
+		stop := make(chan struct{})
+
+		// Readers: one snapshotting the event log, one scraping the
+		// registry, both racing the emitting workers.
+		var rwg sync.WaitGroup
+		rwg.Add(2)
+		go func() {
+			defer rwg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					for _, e := range ob.Tracer.Snapshot() {
+						if e.Kind != obs.EvSteal && e.Kind != obs.EvLocalHit && e.Kind != obs.EvTaskFinish {
+							t.Errorf("iter %d: unexpected kind %v in scheduler-only trace", it, e.Kind)
+							return
+						}
+					}
+				}
+			}
+		}()
+		go func() {
+			defer rwg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = ob.Reg.Text()
+				}
+			}
+		}()
+
+		var wg sync.WaitGroup
+		for g := 0; g < 6; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := 0; ; k++ {
+					if k%4 == 3 {
+						batch := make([]Task, 1+k%5)
+						for i := range batch {
+							batch[i] = task
+						}
+						n, err := p.SubmitBatch(batch)
+						accepted.Add(int64(n))
+						if err != nil {
+							return
+						}
+					} else {
+						if p.Submit(task) != nil {
+							return
+						}
+						accepted.Add(1)
+					}
+				}
+			}()
+		}
+		time.Sleep(time.Duration(it%4) * 100 * time.Microsecond)
+		p.Close()
+		wg.Wait()
+		close(stop)
+		rwg.Wait()
+
+		if ran.Load() != accepted.Load() {
+			t.Fatalf("iter %d: accepted %d but %d ran", it, accepted.Load(), ran.Load())
+		}
+		m := p.Metrics()
+		if got := ob.Steals.Value() + ob.LocalHits.Value(); got != m.Executed-m.InlineRuns {
+			t.Fatalf("iter %d: observer dispatches %d, pool executed %d (inline %d)",
+				it, got, m.Executed, m.InlineRuns)
+		}
+		if got := ob.TasksDone.Value(); got != m.Executed-m.InlineRuns {
+			t.Fatalf("iter %d: observer TasksDone %d, pool executed %d (inline %d)",
+				it, got, m.Executed, m.InlineRuns)
+		}
+		if ob.Tracer.Emitted() < ob.TasksDone.Value() {
+			t.Fatalf("iter %d: emitted %d below task count %d",
+				it, ob.Tracer.Emitted(), ob.TasksDone.Value())
+		}
 	}
 }

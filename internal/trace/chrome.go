@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// Chrome trace_event pids: the engine's group timeline and the
+// scheduler's per-worker timeline render as two processes.
+const (
+	chromePidEngine    = 1
+	chromePidScheduler = 2
+)
+
+// ChromeTrace writes the observed event log in the Chrome trace_event JSON
+// format, loadable in chrome://tracing or https://ui.perfetto.dev. Group
+// executions become complete ("X") spans under the "engine" process, one
+// track per group; scheduler dispatch→finish pairs become spans under the
+// "scheduler" process, one track per worker lane; everything else —
+// auxiliary-state production, validation outcomes, redos, aborts,
+// squashes, fallback — becomes instant ("i") events on the group's track.
+// Output is deterministic for a given event slice.
+func ChromeTrace(w io.Writer, events []obs.Event) error {
+	sorted := make([]obs.Event, len(events))
+	copy(sorted, events)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].TS < sorted[j].TS })
+
+	var recs []string
+	meta := func(pid int, tid int64, what, name string) {
+		recs = append(recs, fmt.Sprintf(
+			`{"name":"%s","ph":"M","pid":%d,"tid":%d,"args":{"name":"%s"}}`,
+			what, pid, tid, name))
+	}
+	meta(chromePidEngine, 0, "process_name", "engine")
+	meta(chromePidScheduler, 0, "process_name", "scheduler")
+
+	// µs timestamps with nanosecond precision, the unit trace viewers use.
+	us := func(ns int64) string { return fmt.Sprintf("%.3f", float64(ns)/1e3) }
+
+	type openSpan struct {
+		ts     int64
+		stolen bool
+	}
+	groupOpen := map[int32]int64{}
+	laneOpen := map[int16]openSpan{}
+	groupsSeen := map[int32]bool{}
+	lanesSeen := map[int16]bool{}
+
+	for _, e := range sorted {
+		switch e.Kind {
+		case obs.EvGroupStart:
+			groupsSeen[e.Group] = true
+			groupOpen[e.Group] = e.TS
+		case obs.EvGroupFinish:
+			groupsSeen[e.Group] = true
+			start, ok := groupOpen[e.Group]
+			if !ok {
+				start = e.TS
+			}
+			delete(groupOpen, e.Group)
+			recs = append(recs, fmt.Sprintf(
+				`{"name":"group %d","ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":{"outputs":%d}}`,
+				e.Group, chromePidEngine, e.Group, us(start), us(e.TS-start), e.Arg))
+		case obs.EvAuxProduced, obs.EvValidateMatch, obs.EvValidateMismatch,
+			obs.EvRedo, obs.EvAbort, obs.EvSquash, obs.EvFallback:
+			groupsSeen[e.Group] = true
+			recs = append(recs, fmt.Sprintf(
+				`{"name":"%s","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"args":{"arg":%d}}`,
+				e.Kind, chromePidEngine, e.Group, us(e.TS), e.Arg))
+		case obs.EvSteal, obs.EvLocalHit:
+			lanesSeen[e.Lane] = true
+			laneOpen[e.Lane] = openSpan{ts: e.TS, stolen: e.Kind == obs.EvSteal}
+		case obs.EvTaskFinish:
+			lanesSeen[e.Lane] = true
+			sp, ok := laneOpen[e.Lane]
+			if !ok {
+				continue // dispatch record evicted by the bounded ring
+			}
+			delete(laneOpen, e.Lane)
+			name := "task (local)"
+			if sp.stolen {
+				name = "task (stolen)"
+			}
+			recs = append(recs, fmt.Sprintf(
+				`{"name":"%s","ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":{}}`,
+				name, chromePidScheduler, e.Lane, us(sp.ts), us(e.TS-sp.ts)))
+		}
+	}
+	// Spans still open when the log ends render as instants so they are
+	// not silently lost. Sorted so the output stays deterministic.
+	og := make([]int32, 0, len(groupOpen))
+	for g := range groupOpen {
+		og = append(og, g)
+	}
+	sort.Slice(og, func(i, j int) bool { return og[i] < og[j] })
+	for _, g := range og {
+		recs = append(recs, fmt.Sprintf(
+			`{"name":"group %d (unfinished)","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"args":{}}`,
+			g, chromePidEngine, g, us(groupOpen[g])))
+	}
+	ol := make([]int16, 0, len(laneOpen))
+	for l := range laneOpen {
+		ol = append(ol, l)
+	}
+	sort.Slice(ol, func(i, j int) bool { return ol[i] < ol[j] })
+	for _, l := range ol {
+		recs = append(recs, fmt.Sprintf(
+			`{"name":"task (unfinished)","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"args":{}}`,
+			chromePidScheduler, l, us(laneOpen[l].ts)))
+	}
+
+	gids := make([]int32, 0, len(groupsSeen))
+	for g := range groupsSeen {
+		gids = append(gids, g)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	for _, g := range gids {
+		meta(chromePidEngine, int64(g), "thread_name", fmt.Sprintf("group %d", g))
+	}
+	lids := make([]int16, 0, len(lanesSeen))
+	for l := range lanesSeen {
+		lids = append(lids, l)
+	}
+	sort.Slice(lids, func(i, j int) bool { return lids[i] < lids[j] })
+	for _, l := range lids {
+		meta(chromePidScheduler, int64(l), "thread_name", fmt.Sprintf("worker %d", l))
+	}
+
+	if _, err := io.WriteString(w, `{"displayTimeUnit":"ns","traceEvents":[`); err != nil {
+		return err
+	}
+	for i, r := range recs {
+		sep := ",\n"
+		if i == 0 {
+			sep = "\n"
+		}
+		if _, err := io.WriteString(w, sep+r); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}

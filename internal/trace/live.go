@@ -1,0 +1,240 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// EventOptions controls RenderEvents.
+type EventOptions struct {
+	// Width is the chart width in character cells (default 80).
+	Width int
+	// MaxRows caps the number of group rows shown (default: all).
+	MaxRows int
+}
+
+// Event-row glyphs: a group's execution span is '=', overlaid with marks
+// at the instants the engine recorded. Later marks win a contested cell,
+// except that terminal outcomes (A, S) are never overdrawn.
+const (
+	glyphSpan     = '='
+	glyphAux      = 'a'
+	glyphMatch    = 'v'
+	glyphMismatch = 'x'
+	glyphRedo     = 'r'
+	glyphAbort    = 'A'
+	glyphSquash   = 'S'
+	glyphFallback = 'F'
+)
+
+// groupLife is a group's reconstructed lifecycle: its execution span plus
+// every instant the engine logged against it.
+type groupLife struct {
+	id         int32
+	start, end int64
+	hasSpan    bool
+	marks      []obs.Event
+}
+
+// RenderEvents writes an ASCII Gantt chart of an observed (not simulated)
+// run from the tracer's event log — the live counterpart of Render's
+// Figure 5 view. One row per speculation group: the execution span is
+// drawn '=', auxiliary-state production 'a', validation outcomes 'v'
+// (match) and 'x' (mismatch), re-executions 'r', aborts 'A', squashes 'S'
+// and the fallback start 'F'. Below the groups, one row per scheduler
+// lane shows task dispatches: 'L' a local-deque hit, 'S' a steal, '-' the
+// task running until its finish mark.
+func RenderEvents(w io.Writer, events []obs.Event, o EventOptions) {
+	if o.Width <= 0 {
+		o.Width = 80
+	}
+	if len(events) == 0 {
+		fmt.Fprintln(w, "(no events)")
+		return
+	}
+	lo, hi := events[0].TS, events[0].TS
+	for _, e := range events {
+		if e.TS < lo {
+			lo = e.TS
+		}
+		if e.TS > hi {
+			hi = e.TS
+		}
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	col := func(ts int64) int {
+		c := int((ts - lo) * int64(o.Width) / span)
+		if c >= o.Width {
+			c = o.Width - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+
+	groups := map[int32]*groupLife{}
+	life := func(g int32) *groupLife {
+		gl := groups[g]
+		if gl == nil {
+			gl = &groupLife{id: g, start: hi, end: lo}
+			groups[g] = gl
+		}
+		return gl
+	}
+	lanes := map[int16][]obs.Event{}
+	for _, e := range events {
+		switch e.Kind {
+		case obs.EvGroupStart:
+			gl := life(e.Group)
+			gl.hasSpan = true
+			if e.TS < gl.start {
+				gl.start = e.TS
+			}
+			if e.TS > gl.end {
+				gl.end = e.TS
+			}
+		case obs.EvGroupFinish:
+			gl := life(e.Group)
+			gl.hasSpan = true
+			if e.TS > gl.end {
+				gl.end = e.TS
+			}
+		case obs.EvAuxProduced, obs.EvValidateMatch, obs.EvValidateMismatch,
+			obs.EvRedo, obs.EvAbort, obs.EvSquash:
+			gl := life(e.Group)
+			gl.marks = append(gl.marks, e)
+		case obs.EvFallback:
+			// Keyed to the aborting boundary's group; mark it there.
+			gl := life(e.Group)
+			gl.marks = append(gl.marks, e)
+		case obs.EvSteal, obs.EvLocalHit, obs.EvTaskFinish:
+			lanes[e.Lane] = append(lanes[e.Lane], e)
+		}
+	}
+
+	ids := make([]int32, 0, len(groups))
+	for id := range groups {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	shown := len(ids)
+	if o.MaxRows > 0 && shown > o.MaxRows {
+		shown = o.MaxRows
+	}
+
+	fmt.Fprintf(w, "observed run: %d events, %d groups, %d scheduler lanes, %s\n",
+		len(events), len(groups), len(lanes), fmtDur(span))
+	fmt.Fprintln(w, "groups: '=' executing, a aux, v match, x mismatch, r redo, A abort, S squash, F fallback")
+	for _, id := range ids[:shown] {
+		gl := groups[id]
+		row := make([]byte, o.Width)
+		for i := range row {
+			row[i] = '.'
+		}
+		if gl.hasSpan {
+			for c := col(gl.start); c <= col(gl.end); c++ {
+				row[c] = glyphSpan
+			}
+		}
+		for _, m := range gl.marks {
+			c := col(m.TS)
+			if row[c] == glyphAbort || row[c] == glyphSquash {
+				continue
+			}
+			row[c] = markGlyph(m.Kind)
+		}
+		fmt.Fprintf(w, "g%03d %s\n", id, row)
+	}
+	if shown < len(ids) {
+		fmt.Fprintf(w, "... (%d more groups)\n", len(ids)-shown)
+	}
+
+	laneIDs := make([]int16, 0, len(lanes))
+	for l := range lanes {
+		laneIDs = append(laneIDs, l)
+	}
+	sort.Slice(laneIDs, func(i, j int) bool { return laneIDs[i] < laneIDs[j] })
+	if len(laneIDs) > 0 {
+		fmt.Fprintln(w, "lanes: L local dispatch, S steal, '-' task running")
+	}
+	for _, l := range laneIDs {
+		row := make([]byte, o.Width)
+		for i := range row {
+			row[i] = '.'
+		}
+		evs := lanes[l]
+		sort.Slice(evs, func(i, j int) bool { return evs[i].TS < evs[j].TS })
+		open := -1 // column of the unmatched dispatch, if any
+		for _, e := range evs {
+			c := col(e.TS)
+			switch e.Kind {
+			case obs.EvSteal, obs.EvLocalHit:
+				g := byte('L')
+				if e.Kind == obs.EvSteal {
+					g = 'S'
+				}
+				row[c] = g
+				open = c
+			case obs.EvTaskFinish:
+				if open >= 0 {
+					for i := open + 1; i <= c; i++ {
+						if row[i] == '.' {
+							row[i] = '-'
+						}
+					}
+					open = -1
+				}
+			}
+		}
+		fmt.Fprintf(w, "w%03d %s\n", l, row)
+	}
+}
+
+// markGlyph maps an instant event kind to its chart glyph.
+func markGlyph(k obs.EventKind) byte {
+	switch k {
+	case obs.EvAuxProduced:
+		return glyphAux
+	case obs.EvValidateMatch:
+		return glyphMatch
+	case obs.EvValidateMismatch:
+		return glyphMismatch
+	case obs.EvRedo:
+		return glyphRedo
+	case obs.EvAbort:
+		return glyphAbort
+	case obs.EvSquash:
+		return glyphSquash
+	case obs.EvFallback:
+		return glyphFallback
+	}
+	return '?'
+}
+
+// fmtDur renders a nanosecond span compactly for the chart header.
+func fmtDur(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fµs", float64(ns)/1e3)
+	}
+	return fmt.Sprintf("%dns", ns)
+}
+
+// EventString renders events to a string with default options.
+func EventString(events []obs.Event) string {
+	var b strings.Builder
+	RenderEvents(&b, events, EventOptions{})
+	return b.String()
+}

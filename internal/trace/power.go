@@ -18,7 +18,13 @@ type PowerOptions struct {
 
 // PowerSeries buckets the modeled instantaneous power over the run into
 // Width columns (time-weighted averages), the series behind the paper's
-// watt-meter trace.
+// watt-meter trace. Columns no interval overlaps are filled in two ways:
+// outside the covered span (before the first interval or after the last)
+// the machine is idle and the column reads the model's base power; inside
+// it, an empty column only means the schedule's interval list is sparser
+// than the column grid, so its power is linearly interpolated between the
+// nearest covered neighbours instead of dipping to base power — a real
+// watt-meter would never show those gaps.
 func PowerSeries(res platform.Result, model energy.Model, width int) []float64 {
 	if width <= 0 {
 		width = 80
@@ -41,12 +47,42 @@ func PowerSeries(res platform.Result, model energy.Model, width int) []float64 {
 			}
 		}
 	}
+	first, last := -1, -1
 	for c := range series {
 		if weight[c] > 0 {
 			series[c] /= weight[c]
-		} else {
-			series[c] = model.BasePower // idle column
+			if first < 0 {
+				first = c
+			}
+			last = c
 		}
+	}
+	if first < 0 {
+		// Nothing ran at all: the whole timeline idles at base power.
+		for c := range series {
+			series[c] = model.BasePower
+		}
+		return series
+	}
+	for c := range series {
+		if weight[c] > 0 {
+			continue
+		}
+		if c < first || c > last {
+			series[c] = model.BasePower // idle before the run starts / after it ends
+			continue
+		}
+		// Interior gap: interpolate between the nearest covered columns.
+		l := c - 1
+		for weight[l] == 0 {
+			l--
+		}
+		r := c + 1
+		for weight[r] == 0 {
+			r++
+		}
+		frac := float64(c-l) / float64(r-l)
+		series[c] = series[l] + (series[r]-series[l])*frac
 	}
 	return series
 }

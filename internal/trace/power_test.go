@@ -68,3 +68,52 @@ func TestRenderPowerEmpty(t *testing.T) {
 		t.Fatalf("empty render: %q", buf.String())
 	}
 }
+
+// TestPowerSeriesBridgesSparseGaps is the regression test for the
+// spurious power dips PowerSeries used to render: when the schedule's
+// interval list is sparser than the column grid, interior uncovered
+// columns fell to base power even though the machine never idled between
+// the neighbouring intervals. They must interpolate instead; columns
+// before the run starts and after it ends still read base power.
+func TestPowerSeriesBridgesSparseGaps(t *testing.T) {
+	model := energy.Default()
+	busy4 := platform.Interval{Start: 0, End: 1, BusyThreads: 4, BusyCores: 4, ActiveSockets: 1}
+	busy2 := platform.Interval{Start: 2, End: 3, BusyThreads: 2, BusyCores: 2, ActiveSockets: 1}
+	res := platform.Result{Makespan: 3, Intervals: []platform.Interval{busy4, busy2}}
+
+	s := PowerSeries(res, model, 3)
+	p0, p2 := model.Power(busy4), model.Power(busy2)
+	if math.Abs(s[0]-p0) > 1e-9 || math.Abs(s[2]-p2) > 1e-9 {
+		t.Fatalf("covered columns [%v %v], want [%v %v]", s[0], s[2], p0, p2)
+	}
+	if want := (p0 + p2) / 2; math.Abs(s[1]-want) > 1e-9 {
+		t.Fatalf("gap column %v, want interpolated %v", s[1], want)
+	}
+	if s[1] <= model.BasePower {
+		t.Fatalf("gap column %v fell to base power %v (the old spurious dip)", s[1], model.BasePower)
+	}
+
+	// A wider grid over the same run: every interior gap column must sit
+	// between its covered neighbours, monotonically interpolated.
+	s = PowerSeries(res, model, 9)
+	for c := 3; c < 6; c++ {
+		if s[c] > p0+1e-9 || s[c] < p2-1e-9 {
+			t.Fatalf("column %d power %v outside [%v, %v]", c, s[c], p2, p0)
+		}
+		if s[c-1] < s[c]-1e-9 {
+			t.Fatalf("interpolation not monotone at column %d: %v", c, s[:7])
+		}
+	}
+
+	// Leading/trailing idle is real idle: base power, not interpolation.
+	mid := platform.Result{Makespan: 3, Intervals: []platform.Interval{
+		{Start: 1, End: 2, BusyThreads: 4, BusyCores: 4, ActiveSockets: 1},
+	}}
+	s = PowerSeries(mid, model, 3)
+	if s[0] != model.BasePower || s[2] != model.BasePower {
+		t.Fatalf("idle edges [%v %v], want base power %v", s[0], s[2], model.BasePower)
+	}
+	if math.Abs(s[1]-model.Power(mid.Intervals[0])) > 1e-9 {
+		t.Fatalf("covered middle %v", s[1])
+	}
+}

@@ -456,15 +456,7 @@ func (w *W) RunSTATS(seed uint64, size int, o workload.SpecOptions) (workload.Re
 	frames := genFrames(size, o.BadTraining)
 	dep := core.New(computeOutput(def), auxCode(aux), stateOps())
 	init := initialState(def, rng.New(seed^0x1717))
-	outs, _, st := dep.Run(frames, init, core.Options{
-		UseAux:    o.UseAux,
-		GroupSize: o.GroupSize,
-		Window:    o.Window,
-		RedoMax:   o.RedoMax,
-		Rollback:  o.Rollback,
-		Workers:   o.Workers,
-		Seed:      seed,
-	})
+	outs, _, st := dep.Run(frames, init, o.CoreOptions(seed))
 	return Result{Frames: outs}, st
 }
 

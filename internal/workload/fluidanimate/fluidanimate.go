@@ -370,15 +370,7 @@ func (w *W) RunSTATS(seed uint64, size int, o workload.SpecOptions) (workload.Re
 	aux := w.resolve(o, false)
 	steps := GenSteps(size, o.BadTraining)
 	dep := core.New(computeOutput(def), auxCode(aux), stateOps())
-	_, final, st := dep.Run(steps, initialState(), core.Options{
-		UseAux:    o.UseAux,
-		GroupSize: o.GroupSize,
-		Window:    o.Window,
-		RedoMax:   o.RedoMax,
-		Rollback:  o.Rollback,
-		Workers:   o.Workers,
-		Seed:      seed,
-	})
+	_, final, st := dep.Run(steps, initialState(), o.CoreOptions(seed))
 	return Result{Final: final.Pos}, st
 }
 

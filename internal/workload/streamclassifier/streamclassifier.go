@@ -277,15 +277,7 @@ func (w *W) RunSTATS(seed uint64, size int, o workload.SpecOptions) (workload.Re
 	aux := w.resolve(o, false)
 	bs := batches(size, o.BadTraining)
 	dep := core.New(computeOutput(def), auxCode(aux), stateOps())
-	outs, _, st := dep.Run(bs, Model{}, core.Options{
-		UseAux:    o.UseAux,
-		GroupSize: o.GroupSize,
-		Window:    o.Window,
-		RedoMax:   o.RedoMax,
-		Rollback:  o.Rollback,
-		Workers:   o.Workers,
-		Seed:      seed,
-	})
+	outs, _, st := dep.Run(bs, Model{}, o.CoreOptions(seed))
 	return assemble(size, outs, o.BadTraining), st
 }
 

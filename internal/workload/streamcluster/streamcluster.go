@@ -321,15 +321,7 @@ func (w *W) RunSTATS(seed uint64, size int, o workload.SpecOptions) (workload.Re
 	aux := w.resolve(o, false)
 	bs := batches(size, o.BadTraining)
 	dep := core.New(computeOutput(def), auxCode(aux), stateOps())
-	_, final, st := dep.Run(bs, Solution{FacilityCost: 1}, core.Options{
-		UseAux:    o.UseAux,
-		GroupSize: o.GroupSize,
-		Window:    o.Window,
-		RedoMax:   o.RedoMax,
-		Rollback:  o.Rollback,
-		Workers:   o.Workers,
-		Seed:      seed,
-	})
+	_, final, st := dep.Run(bs, Solution{FacilityCost: 1}, o.CoreOptions(seed))
 	pts := streamdata.Stream(size*pointsPerInput, o.BadTraining)
 	return Result{Clustering: finalClustering(final, pts)}, st
 }

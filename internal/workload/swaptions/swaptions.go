@@ -319,15 +319,7 @@ func (w *W) RunSTATS(seed uint64, size int, o workload.SpecOptions) (workload.Re
 	var agg core.Stats
 	for i, s := range instruments {
 		dep := core.New(computeOutput(s, def), auxCode(s, aux), stateOps())
-		outs, _, st := dep.Run(blocks(size), PriceState{}, core.Options{
-			UseAux:    o.UseAux,
-			GroupSize: o.GroupSize,
-			Window:    o.Window,
-			RedoMax:   o.RedoMax,
-			Rollback:  o.Rollback,
-			Workers:   o.Workers,
-			Seed:      seed + uint64(i)*0x9E37,
-		})
+		outs, _, st := dep.Run(blocks(size), PriceState{}, o.CoreOptions(seed+uint64(i)*0x9E37))
 		res.Prices[i] = outs[len(outs)-1]
 		addStats(&agg, st)
 	}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/tradeoff"
 )
 
@@ -49,6 +50,27 @@ type SpecOptions struct {
 	EncodedTradeoffs int
 	// BadTraining selects the §4.6 non-representative input variant.
 	BadTraining bool
+	// Obs, when non-nil, receives the engine's speculation event log and
+	// metrics for real RunSTATS executions (see internal/obs); nil runs
+	// unobserved at ~zero cost.
+	Obs *obs.Observer
+}
+
+// CoreOptions lowers the engine-relevant fields of o (plus the run seed)
+// to core.Options — the single place the SpecOptions→engine mapping
+// lives, so every workload's RunSTATS threads new engine options (like
+// the observability sink) identically.
+func (o SpecOptions) CoreOptions(seed uint64) core.Options {
+	return core.Options{
+		UseAux:    o.UseAux,
+		GroupSize: o.GroupSize,
+		Window:    o.Window,
+		RedoMax:   o.RedoMax,
+		Rollback:  o.Rollback,
+		Workers:   o.Workers,
+		Seed:      seed,
+		Obs:       o.Obs,
+	}
 }
 
 // Tradeoff returns the effective index of tradeoff t under the options,

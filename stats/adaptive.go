@@ -39,6 +39,7 @@ func (sd *StateDependence[I, S, O]) RunAdaptive(o AdaptiveOptions) ([]O, S, Adap
 			Workers:   o.Workers,
 			Seed:      o.Seed,
 			Pool:      sd.sharedPool,
+			Obs:       sd.observer,
 		},
 		MinGroup:    o.MinGroup,
 		MaxGroup:    o.MaxGroup,

@@ -1,19 +1,43 @@
 package stats
 
-import "repro/internal/pool"
+import (
+	"repro/internal/obs"
+	"repro/internal/pool"
+)
 
 // Runtime owns the worker pool the paper's runtime shares across all state
 // dependences ("an efficient thread pool implementation (shared with all
-// state dependences) to minimize thread creation overhead", §3.4). Attach
-// binds a StateDependence to it; unattached dependences create a private
-// pool per run.
+// state dependences) to minimize thread creation overhead", §3.4), plus
+// the always-on observability layer: a lock-free speculation event tracer
+// and a metrics registry that every attached dependence reports into.
+// Attach binds a StateDependence to it; unattached dependences create a
+// private pool per run and report nowhere.
 type Runtime struct {
 	pool *pool.Pool
+	obs  *obs.Observer
 }
 
-// NewRuntime starts a shared runtime with the given worker width.
+// TraceEvent is one record of the runtime's speculation event log (see
+// repro/internal/obs for the kinds and field semantics).
+type TraceEvent = obs.Event
+
+// Metrics is the runtime's metrics registry: atomically-updated counters,
+// gauges and log-scale histograms with a plain-text exposition
+// (WriteText/Text).
+type Metrics = obs.Registry
+
+// NewRuntime starts a shared runtime with the given worker width. Tracing
+// and metrics are always on — the tracer's bounded rings and atomic
+// instruments are cheap enough to leave enabled (see internal/obs) — and
+// cover every dependence attached with Attach.
 func NewRuntime(workers int) *Runtime {
-	return &Runtime{pool: pool.New(workers)}
+	if workers < 1 {
+		workers = 1
+	}
+	o := obs.NewObserver(workers+1, 0)
+	p := pool.New(workers)
+	p.SetObserver(o)
+	return &Runtime{pool: p, obs: o}
 }
 
 // Workers returns the pool width.
@@ -22,6 +46,25 @@ func (rt *Runtime) Workers() int { return rt.pool.Workers() }
 // TasksExecuted returns the number of tasks the pool has completed, across
 // every attached dependence.
 func (rt *Runtime) TasksExecuted() int64 { return rt.pool.Executed() }
+
+// Trace returns a time-ordered snapshot of the runtime's speculation event
+// log: group lifecycles, auxiliary-state production, validation outcomes,
+// redos, aborts, squashes, and the scheduler's steal/local dispatches.
+// Safe to call while runs are in flight; the log is bounded, so a
+// long-lived runtime retains the most recent events per lane.
+func (rt *Runtime) Trace() []TraceEvent { return rt.obs.Tracer.Snapshot() }
+
+// Metrics returns the runtime's live metrics registry.
+func (rt *Runtime) Metrics() *Metrics { return rt.obs.Reg }
+
+// MetricsText returns the registry's plain-text exposition — the
+// scrape-format view of everything the runtime has done.
+func (rt *Runtime) MetricsText() string { return rt.obs.Reg.Text() }
+
+// Observer returns the runtime's observability sink, for callers that
+// need the typed instruments (histogram quantiles, dropped-event counts)
+// rather than the rendered views.
+func (rt *Runtime) Observer() *obs.Observer { return rt.obs }
 
 // SchedulerMetrics is a snapshot of the shared pool's work-stealing
 // dispatch counters, aggregated across every attached dependence.
@@ -57,9 +100,10 @@ func (rt *Runtime) Scheduler() SchedulerMetrics {
 // runtime fall back to inline execution.
 func (rt *Runtime) Close() { rt.pool.Close() }
 
-// Attach binds sd to the runtime's shared pool for its next run. It
-// returns sd for chaining.
+// Attach binds sd to the runtime's shared pool and observability layer
+// for its next run. It returns sd for chaining.
 func Attach[I, S, O any](rt *Runtime, sd *StateDependence[I, S, O]) *StateDependence[I, S, O] {
 	sd.sharedPool = rt.pool
+	sd.observer = rt.obs
 	return sd
 }

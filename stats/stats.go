@@ -25,6 +25,7 @@ import (
 	"errors"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/rng"
 )
@@ -86,8 +87,10 @@ type StateDependence[I, S, O any] struct {
 	match   MatchFunc[S]
 	opts    Options
 	// sharedPool, when set by Attach, supplies the Runtime's worker pool
-	// instead of a per-run private pool.
+	// instead of a per-run private pool; observer is the Runtime's
+	// observability sink, set alongside it.
 	sharedPool *pool.Pool
+	observer   *obs.Observer
 
 	done    chan struct{}
 	outputs []O
@@ -186,5 +189,6 @@ func (sd *StateDependence[I, S, O]) run() ([]O, S, RunStats) {
 		Workers:   sd.opts.Workers,
 		Seed:      sd.opts.Seed,
 		Pool:      sd.sharedPool,
+		Obs:       sd.observer,
 	})
 }

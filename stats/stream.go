@@ -27,6 +27,7 @@ func (sd *StateDependence[I, S, O]) RunStream(emit func(index int, output O)) ([
 		Workers:   sd.opts.Workers,
 		Seed:      sd.opts.Seed,
 		Pool:      sd.sharedPool,
+		Obs:       sd.observer,
 	}, core.Emit[O](emit))
 }
 
