@@ -3,11 +3,11 @@
 # `make test` is the tier-1 verify (ROADMAP.md). `make race` is the
 # concurrency tier: the whole suite under the race detector, including the
 # scheduler's Submit/SubmitBatch/Go-vs-Close stress tests in
-# internal/pool/race_test.go.
+# internal/pool/race_test.go. `make check` is test + vet.
 
 GO ?= go
 
-.PHONY: build test race bench-pool bench fuzz bench-obs
+.PHONY: build test check race vet bench-pool bench fuzz bench-obs
 
 build:
 	$(GO) build ./...
@@ -15,8 +15,18 @@ build:
 test: build
 	$(GO) test ./...
 
+# The full local gate: tier-1 tests plus the static-analysis suite.
+check: test vet
+
 race:
 	$(GO) test -race ./...
+
+# Static analysis: the standard Go vet, then statsvet — the IR/source
+# passes over the checked-in example program and the runtime-API
+# analyzers over the repository's user-facing Go code.
+vet:
+	$(GO) vet ./...
+	$(GO) run ./cmd/statsvet testdata/bodytrack.stats ./examples ./internal/workload ./stats
 
 # Scheduler benchmarks: sharded work-stealing pool vs the single-channel
 # baseline, plus the engine's group fan-out across worker counts.
@@ -28,15 +38,19 @@ bench-pool:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
-# Front-end parser fuzzing: FuzzParse checks accepted inputs round-trip
-# through a canonical re-rendering; FuzzTranslate checks translation
-# invariants. Go runs one fuzz target per invocation, so two runs.
-# Override the budget with FUZZTIME=1m etc.
+# Fuzzing. Front end: FuzzParse checks accepted inputs round-trip through
+# a canonical re-rendering; FuzzTranslate checks translation invariants.
+# Analysis: FuzzVerify drives random programs through the pipeline — the
+# passes must never panic, pipeline output must verify, and
+# verifier-accepted modules must be accepted by the back-end. Go runs one
+# fuzz target per invocation, so three runs. Override the budget with
+# FUZZTIME=1m etc.
 FUZZTIME ?= 10s
 
 fuzz:
 	$(GO) test ./internal/frontend -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/frontend -run '^$$' -fuzz '^FuzzTranslate$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/analysis -run '^$$' -fuzz '^FuzzVerify$$' -fuzztime $(FUZZTIME)
 
 # Observability-layer benchmarks: the disabled fast path (must stay under
 # a handful of ns) and the enabled emit/observe costs.

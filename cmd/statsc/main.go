@@ -12,6 +12,11 @@
 //	statsc -in testdata/bodytrack.stats -emit binary \
 //	       -set TO_numAnnealingLayers$aux$track=2 \
 //	       -runtime track=aux,group=8,window=2,redo=2,rollback=2
+//
+// The statsvet analysis suite gates emission by default: any
+// error-severity finding (IR verifier, effect/purity dataflow, tradeoff
+// lints) makes statsc refuse to emit. Disable with -vet=false — the
+// runtime's speculative validation then becomes the only safety net.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/backend"
 	"repro/internal/frontend"
 	"repro/internal/ir"
@@ -41,6 +47,7 @@ func (s *stringsFlag) Set(v string) error {
 func main() {
 	in := flag.String("in", "", "input source file with STATS extensions ('-' for stdin)")
 	emit := flag.String("emit", "binary", "what to emit: std, header, ir, binary")
+	vet := flag.Bool("vet", true, "run the statsvet analysis suite and refuse to emit a failing module")
 	var sets, runtimes stringsFlag
 	flag.Var(&sets, "set", "tradeoff index assignment name=idx (repeatable)")
 	flag.Var(&runtimes, "runtime", "runtime options dep=aux,group=G,window=K,redo=R,rollback=W (repeatable)")
@@ -67,6 +74,18 @@ func main() {
 	mod, err := midend.Lower(fo)
 	if err != nil {
 		fatal(err)
+	}
+	// The vet gate: the same passes cmd/statsvet runs. Warnings are
+	// advisory; any error-severity finding means the module is refused
+	// before anything is emitted (opt out with -vet=false).
+	if *vet {
+		ds := analysis.AnalyzeProgram(fo, mod)
+		for _, d := range ds {
+			fmt.Fprintf(os.Stderr, "statsc: vet: %s\n", d)
+		}
+		if analysis.HasErrors(ds) {
+			fatal(fmt.Errorf("statsc: vet found errors; refusing to emit (use -vet=false to override)"))
+		}
 	}
 	if *emit == "ir" {
 		printIR(mod)

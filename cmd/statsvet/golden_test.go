@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// globAll gathers corpus files under dir in sorted order.
+func globAll(t *testing.T, dir string, patterns ...string) []string {
+	t.Helper()
+	var out []string
+	for _, p := range patterns {
+		matches, err := filepath.Glob(filepath.Join(dir, p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, matches...)
+	}
+	sort.Strings(out)
+	if len(out) == 0 {
+		t.Fatalf("no corpus files under %s", dir)
+	}
+	return out
+}
+
+// checkGolden compares got with the golden file, rewriting it under
+// -update.
+func checkGolden(t *testing.T, golden string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (re-run with -update to create it): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (re-run with -update after verifying):\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestGoodCorpusIsClean is the false-positive acceptance bar: the six
+// workload-shaped programs must produce zero findings and a zero exit.
+func TestGoodCorpusIsClean(t *testing.T) {
+	paths := globAll(t, "testdata/corpus/good", "*.stats")
+	if len(paths) != 6 {
+		t.Fatalf("want the 6 workload programs, got %d: %v", len(paths), paths)
+	}
+	var out, errb bytes.Buffer
+	if code := run(paths, &out, &errb); code != 0 {
+		t.Fatalf("exit %d on the good corpus; stderr: %s", code, errb.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("findings on the good corpus:\n%s", out.String())
+	}
+}
+
+// brokenCorpus returns every deliberately broken case.
+func brokenCorpus(t *testing.T) []string {
+	t.Helper()
+	return globAll(t, "testdata/corpus/broken", "*.stats", "*.ir.json", "*.go")
+}
+
+// TestBrokenCorpusEachDetected requires at least one finding per broken
+// case — no seeded bug slips through.
+func TestBrokenCorpusEachDetected(t *testing.T) {
+	for _, path := range brokenCorpus(t) {
+		var out, errb bytes.Buffer
+		code := run([]string{path}, &out, &errb)
+		if code == 2 {
+			t.Errorf("%s: statsvet failed to process the case: %s", path, errb.String())
+			continue
+		}
+		if out.Len() == 0 {
+			t.Errorf("%s: no findings on a deliberately broken case", path)
+		}
+	}
+}
+
+// TestGoldenText locks the findings-per-file text output over the broken
+// corpus.
+func TestGoldenText(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run(brokenCorpus(t), &out, &errb)
+	if code == 2 {
+		t.Fatalf("statsvet failed: %s", errb.String())
+	}
+	if code != 1 {
+		t.Fatalf("want exit 1 (error findings present), got %d", code)
+	}
+	checkGolden(t, "testdata/golden/broken.txt", out.Bytes())
+}
+
+// TestGoldenJSON locks the -json rendering of the same findings.
+func TestGoldenJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := append([]string{"-json"}, brokenCorpus(t)...)
+	code := run(args, &out, &errb)
+	if code == 2 {
+		t.Fatalf("statsvet failed: %s", errb.String())
+	}
+	checkGolden(t, "testdata/golden/broken.json", out.Bytes())
+}
+
+// TestPassCoverage requires the broken corpus to exercise every analysis
+// pass and every Go analyzer, so a pass can't silently go dark.
+func TestPassCoverage(t *testing.T) {
+	var out, errb bytes.Buffer
+	run(brokenCorpus(t), &out, &errb)
+	text := out.String()
+	for _, pass := range []string{
+		"frontend", "srclint", "verify", "effects", "lints",
+		"negopts", "droppedstats", "specclosure",
+	} {
+		if !strings.Contains(text, " "+pass+": ") {
+			t.Errorf("broken corpus never triggers pass %s", pass)
+		}
+	}
+}
+
+// TestPassesFlag smoke-tests the -passes listing.
+func TestPassesFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-passes"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	for _, name := range []string{"verify", "effects", "lints", "negopts", "droppedstats", "specclosure"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-passes listing missing %s:\n%s", name, out.String())
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Command statsvet runs the STATS static-analysis suite: the IR verifier,
+// the effect/purity dataflow, and the tradeoff lints over SDI/TI programs,
+// plus the runtime-API analyzers over user Go code. It is the standalone
+// face of the same passes the statsc -vet gate and stats.Runtime's module
+// verification run.
+//
+// Inputs are classified by suffix:
+//
+//   - file.stats    — compiled through the front- and mid-end, then all
+//     source lints and IR passes run over the result;
+//   - file.ir.json  — decoded directly as an IR module (the form used for
+//     corpus cases the well-formed pipeline cannot produce) and run
+//     through the IR passes;
+//   - file.go / dir — parsed with the stdlib parser and run through the
+//     runtime-API misuse analyzers (negopts, droppedstats, specclosure);
+//     directories are walked recursively, skipping testdata and _test.go.
+//
+// Usage:
+//
+//	statsvet testdata/bodytrack.stats        # findings-per-file text
+//	statsvet -json corpus/broken/*.ir.json   # machine-readable findings
+//	statsvet ./examples ./internal/workload  # Go runtime-API analyzers
+//
+// Exit status: 0 when no error-severity findings, 1 when any finding is
+// an error, 2 on usage or I/O problems. Warnings never fail the run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/apivet"
+	"repro/internal/frontend"
+	"repro/internal/ir"
+	"repro/internal/midend"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// finding is the unified output record for IR and Go findings.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line,omitempty"`
+	Col      int    `json:"col,omitempty"`
+	Severity string `json:"severity"`
+	Pass     string `json:"pass"`
+	Msg      string `json:"msg"`
+	Func     string `json:"func,omitempty"`
+	Instr    int    `json:"instr,omitempty"`
+	Var      string `json:"var,omitempty"`
+}
+
+// text renders the conventional file:line:col diagnostic line.
+func (f finding) text() string {
+	var b strings.Builder
+	b.WriteString(f.File)
+	if f.Line > 0 {
+		fmt.Fprintf(&b, ":%d", f.Line)
+		if f.Col > 0 {
+			fmt.Fprintf(&b, ":%d", f.Col)
+		}
+	}
+	fmt.Fprintf(&b, ": %s: %s: %s", f.Severity, f.Pass, f.Msg)
+	var loc []string
+	if f.Func != "" {
+		loc = append(loc, "func "+f.Func)
+	}
+	if f.Var != "" {
+		loc = append(loc, "var "+f.Var)
+	}
+	if len(loc) > 0 {
+		fmt.Fprintf(&b, " (%s)", strings.Join(loc, ", "))
+	}
+	return b.String()
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("statsvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	listPasses := fs.Bool("passes", false, "list the analysis passes and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: statsvet [-json] [-passes] path...")
+		fmt.Fprintln(stderr, "paths: .stats sources, .ir.json modules, .go files or directories")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *listPasses {
+		for _, p := range analysis.Passes() {
+			fmt.Fprintf(stdout, "%-12s %s\n", p.Name, p.Doc)
+		}
+		for _, a := range apivet.Analyzers() {
+			fmt.Fprintf(stdout, "%-12s %s (Go)\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	var all []finding
+	var goPaths []string
+	for _, path := range fs.Args() {
+		switch {
+		case strings.HasSuffix(path, ".stats"):
+			fsnd, err := vetStats(path)
+			if err != nil {
+				fmt.Fprintln(stderr, "statsvet:", err)
+				return 2
+			}
+			all = append(all, fsnd...)
+		case strings.HasSuffix(path, ".ir.json"):
+			fsnd, err := vetIRJSON(path)
+			if err != nil {
+				fmt.Fprintln(stderr, "statsvet:", err)
+				return 2
+			}
+			all = append(all, fsnd...)
+		default:
+			goPaths = append(goPaths, path)
+		}
+	}
+	if len(goPaths) > 0 {
+		ds, err := apivet.AnalyzePaths(goPaths)
+		if err != nil {
+			fmt.Fprintln(stderr, "statsvet:", err)
+			return 2
+		}
+		for _, d := range ds {
+			all = append(all, finding{
+				File: d.File, Line: d.Line, Col: d.Col,
+				Severity: "error", Pass: d.Analyzer, Msg: d.Msg,
+			})
+		}
+	}
+
+	errs, warns := 0, 0
+	for _, f := range all {
+		if f.Severity == "error" {
+			errs++
+		} else {
+			warns++
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []finding{}
+		}
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintln(stderr, "statsvet:", err)
+			return 2
+		}
+	} else {
+		for _, f := range all {
+			fmt.Fprintln(stdout, f.text())
+		}
+		if len(all) > 0 {
+			fmt.Fprintf(stdout, "statsvet: %d error(s), %d warning(s)\n", errs, warns)
+		}
+	}
+	if errs > 0 {
+		return 1
+	}
+	return 0
+}
+
+// vetStats compiles one SDI/TI source through the front- and mid-end and
+// runs the full pass suite. Front-end and mid-end rejections are findings
+// too — positioned ones when the error carries a line.
+func vetStats(path string) ([]finding, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	fo, err := frontend.Translate(string(src))
+	if err != nil {
+		if fe, ok := err.(*frontend.Error); ok {
+			return []finding{{File: path, Line: fe.Line, Severity: "error", Pass: "frontend", Msg: fe.Msg}}, nil
+		}
+		return []finding{{File: path, Severity: "error", Pass: "frontend", Msg: err.Error()}}, nil
+	}
+	m, err := midend.Lower(fo)
+	if err != nil {
+		return []finding{{File: path, Severity: "error", Pass: "midend", Msg: err.Error()}}, nil
+	}
+	return toFindings(path, analysis.AnalyzeProgram(fo, m)), nil
+}
+
+// vetIRJSON decodes one IR module document and runs the IR passes.
+func vetIRJSON(path string) ([]finding, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := ir.DecodeJSON(f)
+	if err != nil {
+		return []finding{{File: path, Severity: "error", Pass: "decode", Msg: err.Error()}}, nil
+	}
+	return toFindings(path, analysis.Analyze(m)), nil
+}
+
+// toFindings converts analysis diagnostics to the unified record.
+func toFindings(file string, ds []analysis.Diagnostic) []finding {
+	out := make([]finding, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, finding{
+			File: file, Line: d.Pos.Line, Col: d.Pos.Col,
+			Severity: d.Severity.String(), Pass: d.Pass, Msg: d.Msg,
+			Func: d.Fn, Instr: d.Instr, Var: d.Var,
+		})
+	}
+	return out
+}

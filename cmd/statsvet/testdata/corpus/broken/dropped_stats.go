@@ -1,0 +1,23 @@
+// A user program making the three runtime-API mistakes the Go analyzers
+// catch: a silently clamped negative option, discarded dependence
+// results, and a speculated closure mutating a captured variable.
+package demo
+
+import "repro/stats"
+
+func run(inputs []int, initial state) {
+	sd := stats.NewStateDependence(inputs, initial, compute)
+	sd.Configure(stats.Options{GroupSize: 4, RedoMax: -1})
+	sd.Start()
+	sd.Run()
+}
+
+func auxDemo(inputs []int, initial state) {
+	sd := stats.NewStateDependence(inputs, initial, compute)
+	seen := 0
+	sd.SetAuxiliary(func(r *stats.Rand, init state, recent []int) state {
+		seen++
+		return init
+	})
+	_ = seen
+}

@@ -16,6 +16,7 @@ package main
 import (
 	"fmt"
 	"math"
+	"os"
 
 	"repro/stats"
 )
@@ -191,7 +192,10 @@ func main() {
 		UseAux: true, GroupSize: 8, Window: 4, RedoMax: 2, Rollback: 3, Workers: 8, Seed: 7,
 	})
 
-	sd.Start()
+	if err := sd.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "bodytracking:", err)
+		os.Exit(1)
+	}
 	positions, _, st := sd.Join()
 
 	fmt.Printf("tracked %d frames in %d overlapped groups\n", len(positions), st.Groups)

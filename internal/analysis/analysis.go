@@ -1,0 +1,206 @@
+// Package analysis is the STATS static-analysis suite (statsvet): a pass
+// framework over the typed internal/ir module that proves auxiliary code
+// safe *before* it ever speculates. The runtime discovers invariant
+// violations as validation mismatches and aborts — the expensive path
+// Figure 4 exists to avoid; these passes catch malformed SDI/TI programs
+// at compile time instead, in the spirit of synergistic static+speculative
+// optimization (prove statically what you can, pay speculation only for
+// what you can't).
+//
+// Three IR passes ship today:
+//
+//   - verify: IR well-formedness — operand arity per opcode,
+//     def-before-use, call-graph consistency, metadata integrity, and
+//     structural congruence between the mid-end's deep-cloned auxiliary
+//     code and its original compute functions.
+//   - effects: an interprocedural effect/purity dataflow that computes
+//     per-function state read/write sets and input-window footprints,
+//     then flags auxiliary code that reads inputs outside its declared
+//     statedep window, reads foreign state, or writes anything but the
+//     speculative start state.
+//   - lints: tradeoff hygiene — unused/unreachable tradeoffs, knobs whose
+//     declared range can never be exercised, and function tradeoffs whose
+//     variants disagree in signature.
+//
+// Source-level lints over the front-end declarations (before the mid-end
+// pins and deletes unused tradeoffs, which would hide them) live in
+// AnalyzeSource. Go-source analyzers for runtime-API misuse live in the
+// apivet subpackage.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/frontend"
+	"repro/internal/ir"
+)
+
+// Severity classifies a diagnostic: Error findings make a module unsafe
+// to emit (statsc -vet refuses, stats.Runtime rejects); Warning findings
+// are hygiene problems that cannot corrupt a run.
+type Severity int
+
+const (
+	// Warning marks a finding that is suspicious but not unsound.
+	Warning Severity = iota
+	// Error marks a finding that makes the module unsafe to run.
+	Error
+)
+
+// String returns "warning" or "error".
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Diagnostic is one finding. Pos is the source position threaded from the
+// front-end (zero when the construct has no source anchor); Fn and Instr
+// locate the offending IR instruction (Instr is -1 for metadata-level
+// findings); Var names the offending variable, tradeoff or function.
+type Diagnostic struct {
+	Pass     string
+	Severity Severity
+	Pos      ir.Pos
+	Fn       string
+	Instr    int
+	Var      string
+	Msg      string
+}
+
+// String renders the diagnostic in the statsvet single-line format:
+//
+//	line:col: severity: pass: message (func F instr N, var V)
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s: %s: %s", d.Pos, d.Severity, d.Pass, d.Msg)
+	var loc []string
+	if d.Fn != "" {
+		if d.Instr >= 0 {
+			loc = append(loc, fmt.Sprintf("func %s instr %d", d.Fn, d.Instr))
+		} else {
+			loc = append(loc, "func "+d.Fn)
+		}
+	}
+	if d.Var != "" {
+		loc = append(loc, "var "+d.Var)
+	}
+	if len(loc) > 0 {
+		fmt.Fprintf(&b, " (%s)", strings.Join(loc, ", "))
+	}
+	return b.String()
+}
+
+// Pass is one analysis over a module. Run must not mutate the module and
+// must never panic on malformed input — rejecting garbage gracefully is
+// the whole point.
+type Pass struct {
+	// Name keys the pass in diagnostics and CLI filters.
+	Name string
+	// Doc is the one-line description statsvet -help prints.
+	Doc string
+	// Run executes the pass.
+	Run func(m *ir.Module) []Diagnostic
+}
+
+// Passes returns the IR passes in execution order.
+func Passes() []*Pass {
+	return []*Pass{VerifyPass, EffectsPass, LintsPass}
+}
+
+// Analyze runs every IR pass over m and returns the findings in a
+// deterministic order (position, then function, then instruction).
+func Analyze(m *ir.Module) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range Passes() {
+		out = append(out, p.Run(m)...)
+	}
+	Sort(out)
+	return out
+}
+
+// AnalyzeSource runs the source-level lints over the front-end output.
+// These must run before the mid-end: pinning deletes unused tradeoffs
+// from the module, which would hide exactly the declarations the lints
+// exist to flag.
+func AnalyzeSource(fo *frontend.Output) []Diagnostic {
+	out := sourceLints(fo)
+	Sort(out)
+	return out
+}
+
+// AnalyzeProgram is the full statsvet front door for one compiled
+// program: source lints plus every IR pass, merged and sorted.
+func AnalyzeProgram(fo *frontend.Output, m *ir.Module) []Diagnostic {
+	out := append(sourceLints(fo), Analyze(m)...)
+	Sort(out)
+	return out
+}
+
+// Sort orders diagnostics by source position, then function, instruction,
+// pass and message, so output is stable across map-iteration orders.
+func Sort(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		if a.Fn != b.Fn {
+			return a.Fn < b.Fn
+		}
+		if a.Instr != b.Instr {
+			return a.Instr < b.Instr
+		}
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// HasErrors reports whether any finding is Error severity.
+func HasErrors(ds []Diagnostic) bool {
+	for _, d := range ds {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Check runs every IR pass and returns a non-nil error listing the Error
+// findings, if any — the form the statsc -vet gate and stats.Runtime's
+// module verification consume. Warnings never fail Check.
+func Check(m *ir.Module) error {
+	var errs []string
+	for _, d := range Analyze(m) {
+		if d.Severity == Error {
+			errs = append(errs, d.String())
+		}
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("analysis: module failed verification with %d error(s):\n  %s",
+		len(errs), strings.Join(errs, "\n  "))
+}
+
+// errAt builds an instruction-anchored Error diagnostic.
+func errAt(pass string, f *ir.Function, i int, variable, format string, args ...any) Diagnostic {
+	d := Diagnostic{Pass: pass, Severity: Error, Fn: f.Name, Instr: i, Var: variable, Msg: fmt.Sprintf(format, args...)}
+	if i >= 0 && i < len(f.Instrs) {
+		d.Pos = f.Instrs[i].Pos
+	}
+	return d
+}
+
+// metaDiag builds a metadata-level diagnostic (no instruction anchor).
+func metaDiag(pass string, sev Severity, pos ir.Pos, variable, format string, args ...any) Diagnostic {
+	return Diagnostic{Pass: pass, Severity: sev, Pos: pos, Instr: -1, Var: variable, Msg: fmt.Sprintf(format, args...)}
+}

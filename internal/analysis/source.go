@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"repro/internal/frontend"
+	"repro/internal/ir"
+)
+
+// sourceLints checks the front-end declarations before the mid-end runs.
+// This ordering matters: the mid-end pins every tradeoff that auxiliary
+// code cannot reach to its default and deletes its metadata row, so a
+// declared-but-unused tradeoff is invisible in the final module — the
+// source lints are the only place it can be reported.
+func sourceLints(fo *frontend.Output) []Diagnostic {
+	var ds []Diagnostic
+
+	used := map[string]bool{}
+	for _, d := range fo.Deps {
+		for _, u := range d.Uses {
+			used[u] = true
+		}
+	}
+
+	seenT := map[string]frontend.TradeoffDecl{}
+	for _, t := range fo.Tradeoffs {
+		pos := ir.Pos{Line: t.Line, Col: t.Col}
+		if prev, dup := seenT[t.Name]; dup {
+			ds = append(ds, metaDiag("srclint", Error, pos, t.Name,
+				"tradeoff %s already declared at line %d", t.Name, prev.Line))
+		}
+		seenT[t.Name] = t
+		if !used[t.Name] {
+			ds = append(ds, metaDiag("srclint", Warning, pos, t.Name,
+				"tradeoff %s is not used by any statedep; the mid-end will pin it to its default and delete it", t.Name))
+		}
+		if t.Size() == 1 {
+			ds = append(ds, metaDiag("srclint", Warning, pos, t.Name,
+				"tradeoff %s declares a single value; the knob can never vary", t.Name))
+		}
+		seenV := map[string]bool{}
+		for _, v := range t.Names {
+			if seenV[v] {
+				ds = append(ds, metaDiag("srclint", Warning, pos, t.Name,
+					"tradeoff %s lists value %s more than once", t.Name, v))
+			}
+			seenV[v] = true
+		}
+	}
+
+	seenD := map[string]frontend.DepDecl{}
+	for _, d := range fo.Deps {
+		pos := ir.Pos{Line: d.Line, Col: d.Col}
+		if prev, dup := seenD[d.Name]; dup {
+			ds = append(ds, metaDiag("srclint", Error, pos, d.Name,
+				"statedep %s already declared at line %d", d.Name, prev.Line))
+		}
+		seenD[d.Name] = d
+		if len(d.Uses) > 0 && d.Compare == "" {
+			ds = append(ds, metaDiag("srclint", Warning, pos, d.Name,
+				"statedep %s uses tradeoffs but declares no compare method; speculation cannot be validated at runtime", d.Name))
+		}
+		seenU := map[string]bool{}
+		for _, u := range d.Uses {
+			if seenU[u] {
+				ds = append(ds, metaDiag("srclint", Warning, pos, d.Name,
+					"statedep %s lists tradeoff %s more than once in uses", d.Name, u))
+			}
+			seenU[u] = true
+		}
+	}
+	return ds
+}

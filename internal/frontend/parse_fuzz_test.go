@@ -34,6 +34,9 @@ func renderCanonical(out *Output) string {
 		if d.Compare != "" {
 			fmt.Fprintf(&b, "compare %s;\n", d.Compare)
 		}
+		if d.Window > 0 {
+			fmt.Fprintf(&b, "window %d;\n", d.Window)
+		}
 		b.WriteString("}\n")
 	}
 	return b.String()
@@ -44,12 +47,12 @@ func renderCanonical(out *Output) string {
 func stripLines(out *Output) ([]TradeoffDecl, []DepDecl) {
 	ts := make([]TradeoffDecl, len(out.Tradeoffs))
 	for i, t := range out.Tradeoffs {
-		t.Line = 0
+		t.Line, t.Col = 0, 0
 		ts[i] = t
 	}
 	ds := make([]DepDecl, len(out.Deps))
 	for i, d := range out.Deps {
-		d.Line = 0
+		d.Line, d.Col = 0, 0
 		ds[i] = d
 	}
 	return ts, ds

@@ -41,7 +41,26 @@ const (
 	Extern
 	// Ret returns the value produced by instruction Args[0].
 	Ret
+	// StateRead reads the state variable named by Name. The effect
+	// analysis uses these to compute per-function read sets; the
+	// evaluator treats them as opaque.
+	StateRead
+	// StateWrite writes the state variable named by Name. Auxiliary code
+	// may only write its own dependence's state (the speculative start
+	// state); the effect analysis enforces this.
+	StateWrite
+	// InputRead reads the input Index positions back from the current
+	// invocation (0 = the most recent input). Auxiliary code may only
+	// read offsets inside its dependence's declared window.
+	InputRead
 )
+
+// opcodeCount is the number of defined opcodes; the verifier rejects
+// instructions outside [0, opcodeCount).
+const opcodeCount = int(InputRead) + 1
+
+// Valid reports whether o is a defined opcode.
+func (o Opcode) Valid() bool { return int(o) >= 0 && int(o) < opcodeCount }
 
 // String returns the opcode's name.
 func (o Opcode) String() string {
@@ -64,15 +83,46 @@ func (o Opcode) String() string {
 		return "extern"
 	case Ret:
 		return "ret"
+	case StateRead:
+		return "stateread"
+	case StateWrite:
+		return "statewrite"
+	case InputRead:
+		return "inputread"
 	default:
 		return fmt.Sprintf("Opcode(%d)", int(o))
 	}
 }
 
+// Pos is a source position (1-based line and column) threaded from the
+// front-end so every diagnostic can point at real source. The zero Pos
+// means "position unknown" (compiler-synthesized code with no source
+// anchor).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// IsValid reports whether the position carries real source coordinates.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String renders "line:col", or "-" for an unknown position.
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	if p.Col <= 0 {
+		return fmt.Sprintf("%d", p.Line)
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
 // Instr is one instruction. Fields are used per-opcode: Value for Const;
-// Index for Param; Args for Add/Mul/Ret operand instruction indices;
+// Index for Param (parameter index) and InputRead (offset back from the
+// current input); Args for Add/Mul/Ret operand instruction indices;
 // Callee for Call; Tradeoff for Placeholder and TypeUse; Name for
-// TypeUse's variable.
+// TypeUse's variable and StateRead/StateWrite's state variable. Pos is
+// the source position of the construct the instruction was lowered from.
 type Instr struct {
 	Op       Opcode
 	Value    int64
@@ -81,6 +131,7 @@ type Instr struct {
 	Callee   string
 	Tradeoff string
 	Name     string
+	Pos      Pos
 }
 
 // Function is an IR function.
@@ -157,6 +208,8 @@ type TradeoffMeta struct {
 	Aux bool
 	// ClonedFrom is the original tradeoff's name for aux clones.
 	ClonedFrom string
+	// Pos is the source position of the tradeoff declaration.
+	Pos Pos
 }
 
 // DepMeta is one row of the state-dependence metadata table.
@@ -172,6 +225,12 @@ type DepMeta struct {
 	// Compare is the state-comparison method ("" when the dependence
 	// needs none).
 	Compare string
+	// Window is the declared auxiliary input window: the number of
+	// recent inputs the dependence's auxiliary code may read. 0 means
+	// the declaration did not bound it.
+	Window int
+	// Pos is the source position of the statedep declaration.
+	Pos Pos
 }
 
 // Module is a compilation unit: functions plus metadata.

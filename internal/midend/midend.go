@@ -34,23 +34,26 @@ const externBulk = 160
 func Lower(fo *frontend.Output) (*ir.Module, error) {
 	m := ir.NewModule()
 
-	// Tradeoff metadata + getValue functions (interpretable IR).
+	// Tradeoff metadata + getValue functions (interpretable IR). Every
+	// synthesized instruction and metadata row carries the declaration's
+	// source position so analysis diagnostics point at real source.
 	for _, t := range fo.Tradeoffs {
+		pos := ir.Pos{Line: t.Line, Col: t.Col}
 		gv := &ir.Function{Name: fmt.Sprintf("T_%d_getValue", t.ID)}
 		switch t.Kind {
 		case "constant":
 			// return i + Lo
 			gv.Instrs = []ir.Instr{
-				{Op: ir.Param, Index: 0},
-				{Op: ir.Const, Value: t.Lo},
-				{Op: ir.Add, Args: []int{0, 1}},
-				{Op: ir.Ret, Args: []int{2}},
+				{Op: ir.Param, Index: 0, Pos: pos},
+				{Op: ir.Const, Value: t.Lo, Pos: pos},
+				{Op: ir.Add, Args: []int{0, 1}, Pos: pos},
+				{Op: ir.Ret, Args: []int{2}, Pos: pos},
 			}
 		default:
 			// return i (an index into ValueNames)
 			gv.Instrs = []ir.Instr{
-				{Op: ir.Param, Index: 0},
-				{Op: ir.Ret, Args: []int{0}},
+				{Op: ir.Param, Index: 0, Pos: pos},
+				{Op: ir.Ret, Args: []int{0}, Pos: pos},
 			}
 		}
 		m.AddFunction(gv)
@@ -59,6 +62,7 @@ func Lower(fo *frontend.Output) (*ir.Module, error) {
 			GetValue: gv.Name,
 			Size:     t.Size(),
 			Default:  t.Default,
+			Pos:      pos,
 		}
 		switch t.Kind {
 		case "constant":
@@ -96,13 +100,22 @@ func Lower(fo *frontend.Output) (*ir.Module, error) {
 		if _, dup := m.Functions[d.Compute]; dup {
 			return nil, fmt.Errorf("midend: compute %s declared twice", d.Compute)
 		}
+		pos := ir.Pos{Line: d.Line, Col: d.Col}
 		compute := &ir.Function{Name: d.Compute}
+		// The compute function's effect skeleton (Figure 4's pattern):
+		// read the current input, read the state, compute, write the
+		// state back. The effect pass proves the auxiliary clone stays
+		// inside exactly this footprint.
+		compute.Instrs = append(compute.Instrs,
+			ir.Instr{Op: ir.InputRead, Index: 0, Pos: pos},
+			ir.Instr{Op: ir.StateRead, Name: d.State, Pos: pos},
+		)
 		addRef := func(f *ir.Function, name string) {
 			switch kindOf[name] {
 			case "type":
-				f.Instrs = append(f.Instrs, ir.Instr{Op: ir.TypeUse, Tradeoff: name, Name: "v_" + name})
+				f.Instrs = append(f.Instrs, ir.Instr{Op: ir.TypeUse, Tradeoff: name, Name: "v_" + name, Pos: pos})
 			default:
-				f.Instrs = append(f.Instrs, ir.Instr{Op: ir.Placeholder, Tradeoff: name})
+				f.Instrs = append(f.Instrs, ir.Instr{Op: ir.Placeholder, Tradeoff: name, Pos: pos})
 			}
 		}
 		if len(d.Uses) > 0 {
@@ -114,25 +127,27 @@ func Lower(fo *frontend.Output) (*ir.Module, error) {
 				addRef(kernel, u)
 			}
 			for i := 0; i < externBulk; i++ {
-				kernel.Instrs = append(kernel.Instrs, ir.Instr{Op: ir.Extern})
+				kernel.Instrs = append(kernel.Instrs, ir.Instr{Op: ir.Extern, Pos: pos})
 			}
 			m.AddFunction(kernel)
-			compute.Instrs = append(compute.Instrs, ir.Instr{Op: ir.Call, Callee: kernel.Name})
+			compute.Instrs = append(compute.Instrs, ir.Instr{Op: ir.Call, Callee: kernel.Name, Pos: pos})
 		}
 		// A tradeoff-free library helper: must NOT be cloned.
 		lib := &ir.Function{Name: d.Compute + "$lib"}
 		for i := 0; i < externBulk; i++ {
-			lib.Instrs = append(lib.Instrs, ir.Instr{Op: ir.Extern})
+			lib.Instrs = append(lib.Instrs, ir.Instr{Op: ir.Extern, Pos: pos})
 		}
 		m.AddFunction(lib)
-		compute.Instrs = append(compute.Instrs, ir.Instr{Op: ir.Call, Callee: lib.Name})
+		compute.Instrs = append(compute.Instrs, ir.Instr{Op: ir.Call, Callee: lib.Name, Pos: pos})
 		for i := 0; i < externBulk; i++ {
-			compute.Instrs = append(compute.Instrs, ir.Instr{Op: ir.Extern})
+			compute.Instrs = append(compute.Instrs, ir.Instr{Op: ir.Extern, Pos: pos})
 		}
+		compute.Instrs = append(compute.Instrs, ir.Instr{Op: ir.StateWrite, Name: d.State, Pos: pos})
 		m.AddFunction(compute)
 		m.Deps = append(m.Deps, ir.DepMeta{
 			Name: d.Name, Input: d.Input, State: d.State, Output: d.Output,
 			Compute: d.Compute, Compare: d.Compare,
+			Window: int(d.Window), Pos: pos,
 		})
 	}
 

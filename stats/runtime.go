@@ -1,6 +1,8 @@
 package stats
 
 import (
+	"sync"
+
 	"repro/internal/obs"
 	"repro/internal/pool"
 )
@@ -15,6 +17,10 @@ import (
 type Runtime struct {
 	pool *pool.Pool
 	obs  *obs.Observer
+
+	mu              sync.Mutex
+	allowUnverified bool
+	programs        []*Program
 }
 
 // TraceEvent is one record of the runtime's speculation event log (see
