@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build test check race vet bench-pool bench fuzz bench-obs
+.PHONY: build test check race vet bench-pool bench bench-paper fuzz bench-obs serve-smoke
 
 build:
 	$(GO) build ./...
@@ -15,8 +15,9 @@ build:
 test: build
 	$(GO) test ./...
 
-# The full local gate: tier-1 tests plus the static-analysis suite.
-check: test vet
+# The full local gate: tier-1 tests, the static-analysis suite, and the
+# telemetry-server smoke (boot, curl every endpoint, assert statuses).
+check: test vet serve-smoke
 
 race:
 	$(GO) test -race ./...
@@ -33,10 +34,20 @@ vet:
 bench-pool:
 	$(GO) test -run '^$$' -bench 'Submit|Fanout' -benchmem ./internal/pool ./internal/core
 
+# Telemetry/observability benchmark snapshot: runs the scrape-under-load
+# and Emit microbenchmarks through cmd/statsbench and writes the parsed
+# results to BENCH_pr4.json (the checked-in regression reference).
+bench:
+	$(GO) run ./cmd/statsbench -out BENCH_pr4.json
+
 # Full evaluation benchmarks (paper tables/figures). STATS_QUICK=1 scales
 # budgets down for smoke runs.
-bench:
+bench-paper:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Boot a telemetry-serving run and curl every endpoint.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # Fuzzing. Front end: FuzzParse checks accepted inputs round-trip through
 # a canonical re-rendering; FuzzTranslate checks translation invariants.

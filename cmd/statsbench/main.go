@@ -1,0 +1,150 @@
+// Command statsbench runs the repository's telemetry and observability
+// microbenchmarks through `go test -bench` and writes the parsed results
+// as a JSON document — the checked-in BENCH_pr4.json snapshot that records
+// the scrape-under-load and Emit costs a telemetry change must not
+// regress.
+//
+// Usage:
+//
+//	statsbench                     # write BENCH_pr4.json in the cwd
+//	statsbench -out results.json   # elsewhere
+//	statsbench -benchtime 100x     # quicker smoke run
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// BenchResult is one parsed benchmark line.
+type BenchResult struct {
+	// Name is the benchmark's name with the -N GOMAXPROCS suffix kept.
+	Name string `json:"name"`
+	// Package is the Go package the benchmark lives in.
+	Package string `json:"package"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline ns/op.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are -benchmem numbers (0 when absent).
+	BytesPerOp  int64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
+	// MBPerSec is throughput when the benchmark reports SetBytes.
+	MBPerSec float64 `json:"mb_per_sec,omitempty"`
+}
+
+// BenchDoc is the JSON document statsbench writes.
+type BenchDoc struct {
+	// GoVersion and Timestamp identify the run.
+	GoVersion string `json:"go_version"`
+	Timestamp string `json:"timestamp"`
+	// Benchtime is the -benchtime used.
+	Benchtime string `json:"benchtime"`
+	// Results are the parsed benchmark lines in run order.
+	Results []BenchResult `json:"results"`
+}
+
+// suites are the (package, bench regexp) pairs the snapshot covers: the
+// telemetry server under load and the tracer's emit paths.
+var suites = []struct{ pkg, pattern string }{
+	{"./internal/telemetry", "BenchmarkMetricsScrapeUnderLoad|BenchmarkEmitWithSSEClient|BenchmarkEmitDisabledObserver|BenchmarkBuildSpans"},
+	{"./internal/obs", "BenchmarkEmitDisabled$|BenchmarkEmitEnabled|BenchmarkObserverDisabledGroupPath"},
+}
+
+func main() {
+	out := flag.String("out", "BENCH_pr4.json", "output JSON path")
+	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
+	flag.Parse()
+
+	doc := BenchDoc{
+		GoVersion: strings.TrimSpace(goVersion()),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Benchtime: *benchtime,
+	}
+	for _, s := range suites {
+		lines, err := runBench(s.pkg, s.pattern, *benchtime)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "statsbench: %s: %v\n", s.pkg, err)
+			os.Exit(1)
+		}
+		doc.Results = append(doc.Results, lines...)
+	}
+	if len(doc.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "statsbench: no benchmark lines parsed")
+		os.Exit(1)
+	}
+
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "statsbench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "statsbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d benchmark results to %s\n", len(doc.Results), *out)
+	for _, r := range doc.Results {
+		fmt.Printf("  %-45s %12.1f ns/op\n", r.Name, r.NsPerOp)
+	}
+}
+
+// goVersion returns `go env GOVERSION`.
+func goVersion() string {
+	out, err := exec.Command("go", "env", "GOVERSION").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return string(out)
+}
+
+// runBench executes one `go test -bench` invocation and parses its output.
+func runBench(pkg, pattern, benchtime string) ([]BenchResult, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", pattern,
+		"-benchmem", "-benchtime", benchtime, pkg)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("%w\n%s", err, out)
+	}
+	return parseBenchOutput(pkg, string(out)), nil
+}
+
+// parseBenchOutput extracts Benchmark… lines from go test output.
+func parseBenchOutput(pkg, out string) []BenchResult {
+	var res []BenchResult
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := BenchResult{Name: f[0], Package: pkg, Iterations: iters}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = int64(v)
+			case "allocs/op":
+				r.AllocsPerOp = int64(v)
+			case "MB/s":
+				r.MBPerSec = v
+			}
+		}
+		res = append(res, r)
+	}
+	return res
+}

@@ -9,7 +9,8 @@
 //	statsexp -exp fig12 -quick   # scaled-down budgets (for smoke tests)
 //
 // Experiments: fig02, fig03, table1, fig12, fig13, fig14, fig15, fig16,
-// fig17, fig18, fig19, fig20.
+// fig17, fig18, fig19, fig20, scrape (live-telemetry self-scrape
+// reconciliation), ablation.
 package main
 
 import (
@@ -60,6 +61,13 @@ func main() {
 		"fig18": func() error { return render(harness.Fig18Table(e)) },
 		"fig19": func() error { return render(harness.Fig19Table(e)) },
 		"fig20": func() error { return render(harness.Fig20Table(e)) },
+		"scrape": func() error {
+			t, err := harness.ScrapeTable(e)
+			if err != nil {
+				return err
+			}
+			return render(t)
+		},
 		"ablation": func() error {
 			for _, w := range e.Targets() {
 				for _, dim := range []harness.AblationDim{
@@ -80,7 +88,7 @@ func main() {
 		},
 	}
 	order := []string{"fig02", "fig03", "table1", "fig12", "fig13", "fig14",
-		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "ablation"}
+		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "scrape", "ablation"}
 
 	ids := []string{*exp}
 	if *exp == "all" {

@@ -6,16 +6,28 @@
 //
 //	statsrun -workload bodytrack -size 32 -aux -group 8 -window 3 -redo 2 -rollback 2 -workers 8
 //	statsrun -workload canneal            # the statically rejected benchmark
+//	statsrun -workload swaptions -aux -serve :8080 -repeat 0   # serve telemetry, run forever
 //	statsrun -list
+//
+// With -serve the run executes with the observability layer attached and
+// an HTTP telemetry server up at the given address: /metrics (Prometheus
+// text), /healthz (windowed speculation health), /events (live SSE
+// stream), /trace (Chrome trace_event JSON), /spans (causal span trees),
+// and with -pprof the net/http/pprof profiles. -repeat re-runs the
+// workload N times (0 = until interrupted) so there is a live run to
+// watch.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
+	"repro/internal/obs"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 	"repro/internal/workload/registry"
 )
@@ -31,6 +43,9 @@ func main() {
 	redo := flag.Int("redo", 2, "max original-producer re-executions")
 	rollback := flag.Int("rollback", 2, "inputs to go back per re-execution")
 	workers := flag.Int("workers", 8, "runtime worker-pool width")
+	serve := flag.String("serve", "", "serve HTTP telemetry at this address (e.g. :8080) during the run")
+	repeat := flag.Int("repeat", 1, "with -serve, how many times to run the workload (0 = until interrupted)")
+	pprofFlag := flag.Bool("pprof", false, "with -serve, also mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	if *list {
@@ -50,17 +65,23 @@ func main() {
 		fmt.Println("falling back to conventional execution")
 	}
 
-	oracle := w.RunOracle(*size)
-
-	start := time.Now()
-	res, st := w.RunSTATS(*seed, *size, workload.SpecOptions{
+	so := workload.SpecOptions{
 		UseAux:    *aux,
 		GroupSize: *group,
 		Window:    *window,
 		RedoMax:   *redo,
 		Rollback:  *rollback,
 		Workers:   *workers,
-	})
+	}
+	if *serve != "" {
+		serveMain(w, *size, *seed, so, *serve, *repeat, *pprofFlag)
+		return
+	}
+
+	oracle := w.RunOracle(*size)
+
+	start := time.Now()
+	res, st := w.RunSTATS(*seed, *size, so)
 	elapsed := time.Since(start)
 
 	fmt.Printf("wall time:            %v\n", elapsed)
@@ -75,4 +96,44 @@ func main() {
 	// Reference: conventional run quality band.
 	conv := w.RunOriginal(*seed, *size)
 	fmt.Printf("conventional run distance (same seed):    %.6g\n", conv.Distance(oracle))
+}
+
+// serveMain runs the workload with the observability layer attached and a
+// telemetry server up, re-running it repeat times (0 = forever) so the
+// live endpoints have a run to expose. It exits on interrupt or when the
+// repeats are done.
+func serveMain(w workload.Workload, size int, seed uint64, so workload.SpecOptions, addr string, repeat int, withPprof bool) {
+	ob := obs.NewObserver(so.Workers+1, 1<<14)
+	so.Obs = ob
+	srv := telemetry.NewServer(telemetry.Config{Observer: ob, EnablePprof: withPprof})
+	if err := srv.Start(addr); err != nil {
+		fmt.Fprintln(os.Stderr, "statsrun:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	fmt.Printf("telemetry at %s (endpoints: /metrics /healthz /events /trace /spans)\n", srv.URL())
+
+	interrupted := make(chan os.Signal, 1)
+	signal.Notify(interrupted, os.Interrupt)
+	runDone := make(chan struct{})
+	go func() {
+		defer close(runDone)
+		for i := 0; repeat == 0 || i < repeat; i++ {
+			start := time.Now()
+			_, st := w.RunSTATS(seed+uint64(i), size, so)
+			fmt.Printf("run %d: %v, %d inputs, %d speculative commits, %d aborts\n",
+				i+1, time.Since(start).Round(time.Millisecond),
+				st.Inputs, st.SpeculativeCommits, st.Aborts)
+			select {
+			case <-interrupted:
+				return
+			default:
+			}
+		}
+	}()
+	select {
+	case <-runDone:
+	case <-interrupted:
+		fmt.Println("interrupted")
+	}
 }

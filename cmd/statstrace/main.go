@@ -9,15 +9,23 @@
 //	statstrace -workload bodytrack -mode parstats -threads 8 -aux  # Fig. 5b
 //	statstrace -workload bodytrack -live                           # observed run
 //	statstrace -workload bodytrack -live -chrome out.json          # + Chrome trace
+//	statstrace -workload bodytrack -live -spans                    # + causal span trees
+//	statstrace -from-spans spans.json                              # render a saved /spans doc
 //
 // By default the chart comes from the platform simulator. With -live the
 // workload actually executes through the core engine with the
 // observability layer attached, and the chart is rebuilt from the
 // recorded speculation event log; -chrome additionally exports that log
-// as Chrome trace_event JSON (load it in chrome://tracing).
+// as Chrome trace_event JSON (load it in chrome://tracing), and -spans
+// additionally renders the reconstructed causal span trees (one tree per
+// speculation group: aux production, execution, validation with every
+// redo, abort/squash/fallback marks). -from-spans renders the span view
+// from a JSON document saved from a telemetry server's /spans endpoint,
+// with no execution at all.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +34,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/taskgen"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 	"repro/internal/workload/registry"
@@ -47,7 +56,17 @@ func main() {
 	seed := flag.Uint64("seed", 7, "speculation-outcome seed")
 	live := flag.Bool("live", false, "execute the workload for real and render the observed event log")
 	chrome := flag.String("chrome", "", "with -live, also write the event log as Chrome trace_event JSON to this file")
+	spans := flag.Bool("spans", false, "with -live, also render the reconstructed causal span trees")
+	fromSpans := flag.String("from-spans", "", "render the span view from a /spans JSON document (no execution)")
 	flag.Parse()
+
+	if *fromSpans != "" {
+		if err := renderSpanFile(*fromSpans); err != nil {
+			fmt.Fprintln(os.Stderr, "statstrace:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	w, err := registry.ByName(*name)
 	if err != nil {
@@ -58,7 +77,7 @@ func main() {
 		liveMain(w, *threads, *size, workload.SpecOptions{
 			UseAux: *aux, GroupSize: *group, Window: *window,
 			RedoMax: *redo, Rollback: *rollback, Workers: *threads,
-		}, *seed, *width, *rows, *chrome)
+		}, *seed, *width, *rows, *chrome, *spans)
 		return
 	}
 	var mode taskgen.Mode
@@ -101,7 +120,7 @@ func main() {
 
 // liveMain runs the workload for real with the observability layer
 // attached and renders the recorded event log instead of a simulation.
-func liveMain(w workload.Workload, threads, size int, o workload.SpecOptions, seed uint64, width, rows int, chromePath string) {
+func liveMain(w workload.Workload, threads, size int, o workload.SpecOptions, seed uint64, width, rows int, chromePath string, spans bool) {
 	d := w.Desc()
 	if !d.SupportsSTATS {
 		fmt.Fprintf(os.Stderr, "statstrace: %s does not support STATS: %s\n", d.Name, d.RejectReason)
@@ -122,6 +141,13 @@ func liveMain(w workload.Workload, threads, size int, o workload.SpecOptions, se
 	fmt.Printf("validation latency p50 %dns p99 %dns over %d validations\n",
 		ob.ValidationLatencyNS.Quantile(0.5), ob.ValidationLatencyNS.Quantile(0.99),
 		ob.ValidationLatencyNS.Count())
+	if spans {
+		fmt.Println()
+		doc := telemetry.BuildSpans(events)
+		doc.Emitted = ob.Tracer.Emitted()
+		doc.Dropped = ob.Tracer.Dropped()
+		telemetry.RenderSpans(os.Stdout, doc)
+	}
 	fmt.Println()
 	fmt.Print(ob.Reg.Text())
 
@@ -132,6 +158,20 @@ func liveMain(w workload.Workload, threads, size int, o workload.SpecOptions, se
 		}
 		fmt.Printf("chrome trace written to %s (load in chrome://tracing)\n", chromePath)
 	}
+}
+
+// renderSpanFile renders the span view of a saved /spans JSON document.
+func renderSpanFile(path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc telemetry.SpanDoc
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		return fmt.Errorf("%s is not a /spans document: %w", path, err)
+	}
+	telemetry.RenderSpans(os.Stdout, &doc)
+	return nil
 }
 
 // writeChromeTrace exports events as Chrome trace_event JSON at path.

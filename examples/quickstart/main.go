@@ -10,12 +10,19 @@
 //
 //	go run ./examples/quickstart
 //	go run ./examples/quickstart -trace quickstart.json   # + Chrome trace
+//	go run ./examples/quickstart -serve :8080 -loops 100  # + live telemetry
 //
 // With -trace, the run goes through a stats.Runtime (whose observability
 // layer is always on) and the recorded speculation event log is exported
 // as Chrome trace_event JSON — open chrome://tracing or
 // https://ui.perfetto.dev and load the file to see the overlapped groups,
 // validations and scheduler dispatches on a timeline.
+//
+// With -serve, the runtime's telemetry server comes up at the given
+// address while the chain is (re)processed -loops times: curl /metrics
+// for the Prometheus exposition, /healthz for the windowed speculation
+// health, /spans for the causal span trees, /events for a live SSE
+// stream, /trace for a Chrome-trace dump of the retained rings.
 package main
 
 import (
@@ -40,6 +47,8 @@ type estimate struct {
 
 func main() {
 	tracePath := flag.String("trace", "", "write the observed speculation event log as Chrome trace_event JSON")
+	serve := flag.String("serve", "", "serve HTTP telemetry at this address (e.g. :8080) while the run repeats")
+	loops := flag.Int("loops", 1, "with -serve, how many times to process the chain")
 	flag.Parse()
 
 	// A fixed input stream: a slow sine drift plus noise baked in at
@@ -79,9 +88,7 @@ func main() {
 	// Acceptance: the speculative estimate must sit within the spread of
 	// the original (re-executed) estimates — the paper's triangulating
 	// doesSpecStateMatchAny.
-	sd := stats.NewStateDependence(inputs, estimate{}, compute)
-	sd.SetAuxiliary(aux)
-	sd.SetStateOps(nil, func(spec estimate, originals []estimate) bool {
+	match := func(spec estimate, originals []estimate) bool {
 		for i := range originals {
 			di := math.Abs(spec.Mean - originals[i].Mean)
 			for j := range originals {
@@ -91,16 +98,45 @@ func main() {
 			}
 		}
 		return len(originals) == 1 && math.Abs(spec.Mean-originals[0].Mean) < 0.05
-	})
-	sd.Configure(stats.Options{
-		UseAux:    true,
-		GroupSize: 8,
-		Window:    4,
-		RedoMax:   2,
-		Rollback:  3,
-		Workers:   8,
-		Seed:      42,
-	})
+	}
+	newDep := func(seed uint64) *stats.StateDependence[reading, estimate, float64] {
+		sd := stats.NewStateDependence(inputs, estimate{}, compute)
+		sd.SetAuxiliary(aux)
+		sd.SetStateOps(nil, match)
+		sd.Configure(stats.Options{
+			UseAux:    true,
+			GroupSize: 8,
+			Window:    4,
+			RedoMax:   2,
+			Rollback:  3,
+			Workers:   8,
+			Seed:      seed,
+		})
+		return sd
+	}
+
+	// With -serve, process the chain -loops times through a Runtime with
+	// its telemetry server up, so the live endpoints have a run to show.
+	if *serve != "" {
+		rt := stats.NewRuntime(8)
+		defer rt.Close()
+		srv, err := rt.Serve(*serve)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("telemetry at %s (try /metrics, /healthz, /spans, /events?once=1)\n", srv.URL())
+		for i := 0; i < *loops; i++ {
+			sd := stats.Attach(rt, newDep(42+uint64(i)))
+			_, _, st := sd.Run()
+			if i == *loops-1 {
+				fmt.Printf("loop %d: %d inputs, %d speculative commits, %d aborts\n",
+					i+1, st.Inputs, st.SpeculativeCommits, st.Aborts)
+			}
+		}
+		return
+	}
+
+	sd := newDep(42)
 
 	// With -trace, run through a shared Runtime so the observability
 	// layer records the speculation event log.

@@ -90,9 +90,9 @@ func TestVerifyOperandArityAndDefBeforeUse(t *testing.T) {
 	m := ir.NewModule()
 	m.AddFunction(&ir.Function{Name: "f", Instrs: []ir.Instr{
 		{Op: ir.Const, Value: 1},
-		{Op: ir.Add, Args: []int{0}},              // wrong arity
-		{Op: ir.Mul, Args: []int{0, 5}},           // forward reference
-		{Op: ir.Ret, Args: []int{3}},              // self reference
+		{Op: ir.Add, Args: []int{0}},                   // wrong arity
+		{Op: ir.Mul, Args: []int{0, 5}},                // forward reference
+		{Op: ir.Ret, Args: []int{3}},                   // self reference
 		{Op: ir.Const, Value: 2, Pos: ir.Pos{Line: 9}}, // unreachable
 	}})
 	ds := VerifyPass.Run(m)

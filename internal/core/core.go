@@ -445,6 +445,9 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 			outs = append(outs, committed[j].outputs...)
 			if j > 0 {
 				st.SpeculativeCommits += groups[j].end - groups[j].start
+				if o != nil {
+					o.SpecCommittedInputs.Add(int64(groups[j].end - groups[j].start))
+				}
 			}
 		}
 		emitExec(emit, committed[numGroups-1], groups[numGroups-1].start)
@@ -465,6 +468,9 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 		outs = append(outs, committed[j].outputs...)
 		if j > 0 {
 			st.SpeculativeCommits += groups[j].end - groups[j].start
+			if o != nil {
+				o.SpecCommittedInputs.Add(int64(groups[j].end - groups[j].start))
+			}
 		}
 	}
 	emitExec(emit, committed[abortAt-1], groups[abortAt-1].start)

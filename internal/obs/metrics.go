@@ -53,6 +53,14 @@ func (g *Gauge) Set(v int64) {
 	}
 }
 
+// Add shifts the gauge by d (which may be negative) atomically — the
+// up/down counterpart of Counter.Add for level-style gauges.
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
 // SetMax raises the gauge to v if v exceeds the current value (a lock-free
 // high-water mark).
 func (g *Gauge) SetMax(v int64) {
@@ -170,8 +178,8 @@ func (h *Histogram) Quantile(q float64) int64 {
 }
 
 // Registry is a named collection of counters, gauges and histograms with a
-// deterministic plain-text exposition. Instruments are get-or-create by
-// name, so independent components can share a registry without
+// deterministic Prometheus text exposition. Instruments are get-or-create
+// by name, so independent components can share a registry without
 // coordination. A nil *Registry hands out nil instruments, which are
 // themselves no-ops — disabling metrics is free at every layer.
 type Registry struct {
@@ -179,6 +187,13 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	// cfuncs and gfuncs are function-backed instruments: their value is
+	// read at exposition time, which lets state that already has its own
+	// atomic counters (the Tracer's emit/drop totals) appear on every
+	// scrape without double accounting.
+	cfuncs map[string]func() int64
+	gfuncs map[string]func() int64
+	help   map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -187,6 +202,9 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		cfuncs:   map[string]func() int64{},
+		gfuncs:   map[string]func() int64{},
+		help:     map[string]string{},
 	}
 }
 
@@ -237,16 +255,56 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
-// WriteText writes every instrument in the plain-text exposition format,
-// sorted by name so output is deterministic: counters and gauges as
-// `name value`; histograms as `_count`, `_sum`, `_p50`/`_p90`/`_p99`
-// quantile estimates and the non-empty `_bucket{le="..."}` series.
+// CounterFunc registers a function-backed counter: fn is called at
+// exposition time and must be monotonically non-decreasing and safe for
+// concurrent use. Re-registering a name replaces its function. A nil
+// registry ignores the registration.
+func (r *Registry) CounterFunc(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cfuncs[name] = fn
+}
+
+// GaugeFunc registers a function-backed gauge, read at exposition time.
+// fn must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gfuncs[name] = fn
+}
+
+// SetHelp attaches a HELP string to the instrument registered under name;
+// WriteText emits it as the metric's `# HELP` line. For a histogram the
+// name is the base name (without _bucket/_sum/_count).
+func (r *Registry) SetHelp(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[name] = help
+}
+
+// WriteText writes every instrument in the Prometheus text exposition
+// format (version 0.0.4), sorted by name so output is deterministic. Each
+// metric gets a `# TYPE` line (and a `# HELP` line when SetHelp was
+// called): counters and gauges as single samples, histograms as the
+// standard cumulative `_bucket{le="..."}` series — complete between the
+// first and last non-empty bucket, so empty interior buckets are emitted
+// rather than skipped — followed by `_sum` and `_count`, plus
+// `_p50`/`_p90`/`_p99` quantile-estimate gauges under their own names.
 func (r *Registry) WriteText(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
-	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.cfuncs)+len(r.gfuncs))
 	for n := range r.counters {
 		names = append(names, n)
 	}
@@ -254,6 +312,12 @@ func (r *Registry) WriteText(w io.Writer) error {
 		names = append(names, n)
 	}
 	for n := range r.hists {
+		names = append(names, n)
+	}
+	for n := range r.cfuncs {
+		names = append(names, n)
+	}
+	for n := range r.gfuncs {
 		names = append(names, n)
 	}
 	counters := make(map[string]*Counter, len(r.counters))
@@ -268,39 +332,114 @@ func (r *Registry) WriteText(w io.Writer) error {
 	for n, h := range r.hists {
 		hists[n] = h
 	}
+	cfuncs := make(map[string]func() int64, len(r.cfuncs))
+	for n, f := range r.cfuncs {
+		cfuncs[n] = f
+	}
+	gfuncs := make(map[string]func() int64, len(r.gfuncs))
+	for n, f := range r.gfuncs {
+		gfuncs[n] = f
+	}
+	help := make(map[string]string, len(r.help))
+	for n, h := range r.help {
+		help[n] = h
+	}
 	r.mu.Unlock()
+
+	header := func(name, typ string) error {
+		if h, ok := help[name]; ok {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, h); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+		return err
+	}
+	sample := func(name, typ string, v int64) error {
+		if err := header(name, typ); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s %d\n", name, v)
+		return err
+	}
 
 	sort.Strings(names)
 	for _, n := range names {
-		if c, ok := counters[n]; ok {
-			if _, err := fmt.Fprintf(w, "%s %d\n", n, c.Value()); err != nil {
+		switch {
+		case counters[n] != nil:
+			if err := sample(n, "counter", counters[n].Value()); err != nil {
 				return err
 			}
-			continue
-		}
-		if g, ok := gauges[n]; ok {
-			if _, err := fmt.Fprintf(w, "%s %d\n", n, g.Value()); err != nil {
+		case gauges[n] != nil:
+			if err := sample(n, "gauge", gauges[n].Value()); err != nil {
 				return err
 			}
-			continue
-		}
-		h := hists[n]
-		if _, err := fmt.Fprintf(w, "%s_count %d\n%s_sum %d\n%s_p50 %d\n%s_p90 %d\n%s_p99 %d\n",
-			n, h.Count(), n, h.Sum(), n, h.Quantile(0.5), n, h.Quantile(0.9), n, h.Quantile(0.99)); err != nil {
-			return err
-		}
-		var cum int64
-		for i := 0; i < histBuckets; i++ {
-			c := h.counts[i].Load()
-			if c == 0 {
-				continue
+		case cfuncs[n] != nil:
+			if err := sample(n, "counter", cfuncs[n]()); err != nil {
+				return err
 			}
-			cum += c
+		case gfuncs[n] != nil:
+			if err := sample(n, "gauge", gfuncs[n]()); err != nil {
+				return err
+			}
+		default:
+			if err := writeHistogramText(w, n, hists[n], header); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistogramText emits one histogram in the Prometheus histogram
+// shape: cumulative le buckets (complete between the first and last
+// non-empty bucket), the mandatory +Inf bucket, _sum and _count, then the
+// quantile-estimate gauges.
+func writeHistogramText(w io.Writer, n string, h *Histogram, header func(name, typ string) error) error {
+	if err := header(n, "histogram"); err != nil {
+		return err
+	}
+	// Snapshot the buckets once so the emitted series is internally
+	// consistent (cumulative counts never exceed the +Inf bucket) even
+	// when Observe races with the scrape; the count is derived from the
+	// same snapshot for the same reason.
+	var counts [histBuckets]int64
+	var total int64
+	first, last := -1, -1
+	for i := 0; i < histBuckets; i++ {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+		if counts[i] != 0 {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	var cum int64
+	if first >= 0 {
+		for i := first; i <= last; i++ {
+			cum += counts[i]
 			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", n, histBucketHi(i), cum); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count()); err != nil {
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, total); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", n, h.Sum(), n, total); err != nil {
+		return err
+	}
+	for _, q := range [...]struct {
+		suffix string
+		q      float64
+	}{{"_p50", 0.5}, {"_p90", 0.9}, {"_p99", 0.99}} {
+		qn := n + q.suffix
+		if err := header(qn, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", qn, h.Quantile(q.q)); err != nil {
 			return err
 		}
 	}

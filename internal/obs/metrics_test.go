@@ -92,23 +92,35 @@ func TestWriteTextDeterministicExposition(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("b_total").Add(2)
 	r.Counter("a_total").Inc()
+	r.SetHelp("a_total", "things counted")
 	r.Gauge("depth_peak").SetMax(3)
+	r.CounterFunc("f_total", func() int64 { return 9 })
 	h := r.Histogram("lat_ns")
 	h.Observe(100)
 	h.Observe(200)
 	got := r.Text()
 	want := strings.Join([]string{
+		"# HELP a_total things counted",
+		"# TYPE a_total counter",
 		"a_total 1",
+		"# TYPE b_total counter",
 		"b_total 2",
+		"# TYPE depth_peak gauge",
 		"depth_peak 3",
-		"lat_ns_count 2",
-		"lat_ns_sum 300",
-		"lat_ns_p50 127",
-		"lat_ns_p90 255",
-		"lat_ns_p99 255",
+		"# TYPE f_total counter",
+		"f_total 9",
+		"# TYPE lat_ns histogram",
 		"lat_ns_bucket{le=\"127\"} 1",
 		"lat_ns_bucket{le=\"255\"} 2",
 		"lat_ns_bucket{le=\"+Inf\"} 2",
+		"lat_ns_sum 300",
+		"lat_ns_count 2",
+		"# TYPE lat_ns_p50 gauge",
+		"lat_ns_p50 127",
+		"# TYPE lat_ns_p90 gauge",
+		"lat_ns_p90 255",
+		"# TYPE lat_ns_p99 gauge",
+		"lat_ns_p99 255",
 		"",
 	}, "\n")
 	if got != want {
@@ -116,6 +128,54 @@ func TestWriteTextDeterministicExposition(t *testing.T) {
 	}
 	if r.Text() != got {
 		t.Fatal("exposition must be deterministic")
+	}
+}
+
+func TestWriteTextCumulativeCompleteBuckets(t *testing.T) {
+	// Observations at 1 and 1000 leave eight empty buckets between the
+	// two non-empty ones; the exposition must emit every interior bucket
+	// with its (unchanged) cumulative count rather than skip them.
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	h.Observe(1)
+	h.Observe(1000)
+	text := r.Text()
+	var buckets []string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "lat_bucket{") {
+			buckets = append(buckets, line)
+		}
+	}
+	// Bucket 1 (le=1) through bucket 10 (le=1023) inclusive, plus +Inf.
+	if len(buckets) != 11 {
+		t.Fatalf("bucket lines: %d, want 11 (interior buckets must not be skipped):\n%s",
+			len(buckets), strings.Join(buckets, "\n"))
+	}
+	for i, want := range []string{
+		`lat_bucket{le="1"} 1`, `lat_bucket{le="3"} 1`, `lat_bucket{le="7"} 1`,
+		`lat_bucket{le="15"} 1`, `lat_bucket{le="31"} 1`, `lat_bucket{le="63"} 1`,
+		`lat_bucket{le="127"} 1`, `lat_bucket{le="255"} 1`, `lat_bucket{le="511"} 1`,
+		`lat_bucket{le="1023"} 2`, `lat_bucket{le="+Inf"} 2`,
+	} {
+		if buckets[i] != want {
+			t.Fatalf("bucket %d = %q, want %q", i, buckets[i], want)
+		}
+	}
+}
+
+func TestObserverExposesTracerLoss(t *testing.T) {
+	o := NewObserver(1, 4)
+	for i := 0; i < 6; i++ {
+		o.Tracer.Emit(0, EvGroupStart, int32(i), 0)
+	}
+	text := o.Reg.Text()
+	for _, want := range []string{
+		"trace_events_emitted_total 6",
+		"trace_events_dropped_total 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
 	}
 }
 

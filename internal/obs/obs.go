@@ -64,6 +64,10 @@ type Observer struct {
 	// FallbackInputs counts inputs reprocessed sequentially after an
 	// abort.
 	FallbackInputs *Counter
+	// SpecCommittedInputs counts inputs whose outputs were committed
+	// from a speculative (group > 0) execution — the numerator of the
+	// telemetry layer's fallback-rate denominator.
+	SpecCommittedInputs *Counter
 
 	// Steals, LocalHits and TasksDone count the scheduler's dispatches:
 	// cross-worker steals, contention-free local pops, and completed
@@ -87,11 +91,14 @@ type Observer struct {
 
 // NewObserver builds an Observer with a Tracer of the given lane count and
 // per-lane capacity (zero values pick defaults) and a fresh Registry with
-// every engine and scheduler instrument pre-registered.
+// every engine and scheduler instrument pre-registered, HELP strings
+// attached, and the tracer's emit/drop totals exposed as function-backed
+// counters so ring overwrite is visible on every scrape.
 func NewObserver(lanes, perLaneCap int) *Observer {
 	reg := NewRegistry()
-	return &Observer{
-		Tracer: NewTracer(lanes, perLaneCap),
+	tr := NewTracer(lanes, perLaneCap)
+	o := &Observer{
+		Tracer: tr,
 		Reg:    reg,
 
 		GroupsStarted:  reg.Counter("stats_groups_started_total"),
@@ -103,6 +110,8 @@ func NewObserver(lanes, perLaneCap int) *Observer {
 		Aborts:         reg.Counter("stats_aborts_total"),
 		Squashes:       reg.Counter("stats_squashed_groups_total"),
 		FallbackInputs: reg.Counter("stats_fallback_inputs_total"),
+		SpecCommittedInputs: reg.Counter(
+			"stats_speculative_commit_inputs_total"),
 
 		Steals:    reg.Counter("sched_steals_total"),
 		LocalHits: reg.Counter("sched_local_hits_total"),
@@ -113,4 +122,30 @@ func NewObserver(lanes, perLaneCap int) *Observer {
 		QueueDepth:          reg.Histogram("sched_queue_depth"),
 		QueueDepthPeak:      reg.Gauge("sched_queue_depth_peak"),
 	}
+	reg.CounterFunc("trace_events_emitted_total", tr.Emitted)
+	reg.CounterFunc("trace_events_dropped_total", tr.Dropped)
+	for name, help := range map[string]string{
+		"stats_groups_started_total":            "group executions entering the engine's group runner",
+		"stats_groups_finished_total":           "group executions returning (squashed groups included)",
+		"stats_aux_produced_total":              "auxiliary-code executions that produced a speculative start state",
+		"stats_validation_match_total":          "group boundaries whose speculative state was accepted",
+		"stats_validation_mismatch_total":       "group boundaries whose first validation attempt rejected the speculative state",
+		"stats_redos_total":                     "original-producer re-executions",
+		"stats_aborts_total":                    "boundaries that exhausted their redo budget and aborted speculation",
+		"stats_squashed_groups_total":           "groups squashed by an abort",
+		"stats_fallback_inputs_total":           "inputs reprocessed sequentially after an abort",
+		"stats_speculative_commit_inputs_total": "inputs committed from a speculative (group > 0) execution",
+		"sched_steals_total":                    "cross-worker task dispatches (work stealing)",
+		"sched_local_hits_total":                "contention-free local-deque task dispatches",
+		"sched_tasks_done_total":                "tasks completed by the scheduler",
+		"stats_validation_latency_ns":           "wall-clock nanoseconds each group boundary took to resolve",
+		"stats_redos_per_validation":            "re-executions consumed per group boundary",
+		"sched_queue_depth":                     "per-deque depth observed after each push",
+		"sched_queue_depth_peak":                "lifetime maximum single-deque depth",
+		"trace_events_emitted_total":            "events ever emitted into the tracer's rings",
+		"trace_events_dropped_total":            "events evicted by ring wrap-around (bounded-memory loss)",
+	} {
+		reg.SetHelp(name, help)
+	}
+	return o
 }

@@ -1,0 +1,227 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// HealthState is the health model's verdict over the sliding window.
+type HealthState int
+
+// The three health states: Ok (speculation behaving), Degraded (elevated
+// mismatch pressure or any abort activity), Aborting (an abort storm —
+// the failure mode where misspeculation clusters and the runtime spends
+// its time squashing and falling back).
+const (
+	HealthOk HealthState = iota
+	HealthDegraded
+	HealthAborting
+)
+
+// String returns the state's wire name.
+func (s HealthState) String() string {
+	switch s {
+	case HealthOk:
+		return "ok"
+	case HealthDegraded:
+		return "degraded"
+	case HealthAborting:
+		return "aborting"
+	}
+	return "unknown"
+}
+
+// HealthConfig sets the sliding window and the rate thresholds of the
+// health model. Zero values pick the defaults noted per field.
+type HealthConfig struct {
+	// Window is the sliding window rates are computed over (default 5s).
+	Window time.Duration
+	// MinValidations is the minimum number of boundary resolutions in
+	// the window before mismatch/abort rates are judged at all — below
+	// it the model will not leave Ok on validation rates (default 1).
+	MinValidations int64
+	// DegradedMismatchRate is the first-try rejection fraction
+	// (mismatches / validations) at which the state degrades
+	// (default 0.5).
+	DegradedMismatchRate float64
+	// DegradedFallbackRate is the fallback input fraction
+	// (fallback / (fallback + speculative commits)) at which the state
+	// degrades (default 0.05).
+	DegradedFallbackRate float64
+	// AbortingAbortRate is the aborted-boundary fraction
+	// (aborts / validations) at which the state becomes Aborting
+	// (default 0.25).
+	AbortingAbortRate float64
+	// AbortingFallbackRate is the fallback input fraction at which the
+	// state becomes Aborting (default 0.5).
+	AbortingFallbackRate float64
+	// Now supplies the clock (default time.Now); tests inject a fake.
+	Now func() time.Time
+}
+
+// withDefaults fills zero fields.
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.Window <= 0 {
+		c.Window = 5 * time.Second
+	}
+	if c.MinValidations <= 0 {
+		c.MinValidations = 1
+	}
+	if c.DegradedMismatchRate <= 0 {
+		c.DegradedMismatchRate = 0.5
+	}
+	if c.DegradedFallbackRate <= 0 {
+		c.DegradedFallbackRate = 0.05
+	}
+	if c.AbortingAbortRate <= 0 {
+		c.AbortingAbortRate = 0.25
+	}
+	if c.AbortingFallbackRate <= 0 {
+		c.AbortingFallbackRate = 0.5
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// healthSample is one counter reading.
+type healthSample struct {
+	t                           time.Time
+	matches, mismatches, aborts int64
+	fallback, specCommits       int64
+}
+
+// maxHealthSamples bounds the sample ring; beyond it the oldest in-window
+// samples are collapsed pairwise (halving resolution, keeping coverage).
+const maxHealthSamples = 512
+
+// Health evaluates the speculation counters of an Observer over a sliding
+// window into an ok/degraded/aborting verdict. Each Eval call takes a
+// fresh counter sample, prunes samples older than the window, and judges
+// the deltas between the oldest retained sample and now — so the model
+// recovers to Ok once a storm ages out of the window. Eval is cheap
+// (atomic counter reads) and safe for concurrent use.
+type Health struct {
+	cfg HealthConfig
+	o   *obs.Observer
+
+	mu      sync.Mutex
+	samples []healthSample
+}
+
+// NewHealth builds a health model over o's counters.
+func NewHealth(o *obs.Observer, cfg HealthConfig) *Health {
+	return &Health{cfg: cfg.withDefaults(), o: o}
+}
+
+// HealthReport is one Eval verdict with the rates that produced it — the
+// payload of the server's /healthz endpoint.
+type HealthReport struct {
+	// State is the verdict's wire name ("ok", "degraded", "aborting").
+	State string `json:"state"`
+	// WindowSeconds is the sliding window the rates cover.
+	WindowSeconds float64 `json:"window_seconds"`
+	// Validations is the number of boundary resolutions in the window.
+	Validations int64 `json:"validations"`
+	// MismatchRate, AbortRate and FallbackRate are the windowed rates
+	// judged against the thresholds (see HealthConfig).
+	MismatchRate float64 `json:"mismatch_rate"`
+	AbortRate    float64 `json:"abort_rate"`
+	FallbackRate float64 `json:"fallback_rate"`
+	// TracerDropped is the tracer's lifetime ring-eviction total, a
+	// companion signal: a storm that also overruns the rings loses
+	// events.
+	TracerDropped int64 `json:"tracer_dropped"`
+}
+
+// state parses the report's verdict back into a HealthState.
+func (r HealthReport) state() HealthState {
+	switch r.State {
+	case "degraded":
+		return HealthDegraded
+	case "aborting":
+		return HealthAborting
+	}
+	return HealthOk
+}
+
+// Eval takes a counter sample and returns the current verdict.
+func (h *Health) Eval() HealthReport {
+	now := h.cfg.Now()
+	cur := healthSample{
+		t:           now,
+		matches:     h.o.Matches.Value(),
+		mismatches:  h.o.Mismatches.Value(),
+		aborts:      h.o.Aborts.Value(),
+		fallback:    h.o.FallbackInputs.Value(),
+		specCommits: h.o.SpecCommittedInputs.Value(),
+	}
+
+	h.mu.Lock()
+	// Prune to the window: keep every sample inside it plus the newest
+	// sample at or before its left edge, which becomes the baseline —
+	// so the deltas cover the whole window, and a storm ages out once
+	// no retained sample straddles it.
+	cutoff := now.Add(-h.cfg.Window)
+	first := 0
+	for first < len(h.samples)-1 && !h.samples[first+1].t.After(cutoff) {
+		first++
+	}
+	if first > 0 {
+		h.samples = append(h.samples[:0], h.samples[first:]...)
+	}
+	var base healthSample
+	if len(h.samples) > 0 {
+		base = h.samples[0]
+	} else {
+		base = cur
+	}
+	h.samples = append(h.samples, cur)
+	if len(h.samples) > maxHealthSamples {
+		// Collapse pairwise: keep every second sample.
+		kept := h.samples[:0]
+		for i := 0; i < len(h.samples); i += 2 {
+			kept = append(kept, h.samples[i])
+		}
+		h.samples = kept
+	}
+	h.mu.Unlock()
+
+	d := func(a, b int64) int64 {
+		if b < a {
+			return 0 // counter reset (new observer behind the same model)
+		}
+		return b - a
+	}
+	validations := d(base.matches, cur.matches) + d(base.aborts, cur.aborts)
+	rep := HealthReport{
+		WindowSeconds: h.cfg.Window.Seconds(),
+		Validations:   validations,
+		TracerDropped: h.o.Tracer.Dropped(),
+	}
+	if validations > 0 {
+		rep.MismatchRate = float64(d(base.mismatches, cur.mismatches)) / float64(validations)
+		rep.AbortRate = float64(d(base.aborts, cur.aborts)) / float64(validations)
+	}
+	fb := d(base.fallback, cur.fallback)
+	sc := d(base.specCommits, cur.specCommits)
+	if fb+sc > 0 {
+		rep.FallbackRate = float64(fb) / float64(fb+sc)
+	}
+
+	state := HealthOk
+	enoughVals := validations >= h.cfg.MinValidations
+	switch {
+	case (enoughVals && rep.AbortRate >= h.cfg.AbortingAbortRate) ||
+		(fb+sc > 0 && rep.FallbackRate >= h.cfg.AbortingFallbackRate):
+		state = HealthAborting
+	case (enoughVals && (rep.MismatchRate >= h.cfg.DegradedMismatchRate || rep.AbortRate > 0)) ||
+		(fb+sc > 0 && rep.FallbackRate >= h.cfg.DegradedFallbackRate):
+		state = HealthDegraded
+	}
+	rep.State = state.String()
+	return rep
+}

@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// fakeClock drives Health deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// TestHealthFlipsAndRecovers walks the /healthz model through the
+// acceptance scenario: healthy speculation, then a fault-injected
+// mismatch/abort storm flips ok → aborting, and once the storm ages out
+// of the sliding window the verdict recovers to ok.
+func TestHealthFlipsAndRecovers(t *testing.T) {
+	o := obs.NewObserver(1, 64)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	h := NewHealth(o, HealthConfig{Window: 10 * time.Second, Now: clk.now})
+
+	// Healthy traffic: matches and speculative commits only.
+	o.Matches.Add(100)
+	o.SpecCommittedInputs.Add(1000)
+	rep := h.Eval()
+	if rep.State != "ok" {
+		t.Fatalf("healthy traffic judged %q, want ok: %+v", rep.State, rep)
+	}
+
+	// Storm: most boundaries mismatch, many abort, fallback kicks in.
+	clk.advance(2 * time.Second)
+	o.Matches.Add(20)
+	o.Mismatches.Add(80)
+	o.Aborts.Add(30)
+	o.FallbackInputs.Add(500)
+	rep = h.Eval()
+	if rep.State != "aborting" {
+		t.Fatalf("storm judged %q, want aborting: %+v", rep.State, rep)
+	}
+	if rep.AbortRate < 0.25 {
+		t.Errorf("storm abort rate %.2f, want >= 0.25", rep.AbortRate)
+	}
+
+	// Quiet traffic resumes; the storm sample must age out of the window
+	// and the verdict return to ok (passing through degraded while the
+	// storm still straddles the window is fine).
+	sawOK := false
+	for i := 0; i < 15; i++ {
+		clk.advance(1 * time.Second)
+		o.Matches.Add(10)
+		o.SpecCommittedInputs.Add(100)
+		rep = h.Eval()
+		if rep.State == "ok" {
+			sawOK = true
+		}
+	}
+	if !sawOK || rep.State != "ok" {
+		t.Fatalf("never recovered: final state %q (%+v)", rep.State, rep)
+	}
+}
+
+// TestHealthDegradedOnMismatchPressure: high first-try rejection without
+// aborts is a warning, not an outage — degraded, not aborting.
+func TestHealthDegradedOnMismatchPressure(t *testing.T) {
+	o := obs.NewObserver(1, 64)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	h := NewHealth(o, HealthConfig{Window: 10 * time.Second, Now: clk.now})
+
+	h.Eval() // baseline
+	clk.advance(time.Second)
+	o.Matches.Add(10)
+	o.Mismatches.Add(8)
+	rep := h.Eval()
+	if rep.State != "degraded" {
+		t.Fatalf("mismatch pressure judged %q, want degraded: %+v", rep.State, rep)
+	}
+	if rep.MismatchRate < 0.5 {
+		t.Errorf("mismatch rate %.2f, want >= 0.5", rep.MismatchRate)
+	}
+}
+
+// TestHealthDegradedOnFallbackTrickle: a small fallback share degrades
+// even when every observed validation matches.
+func TestHealthDegradedOnFallbackTrickle(t *testing.T) {
+	o := obs.NewObserver(1, 64)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	h := NewHealth(o, HealthConfig{Window: 10 * time.Second, Now: clk.now})
+
+	h.Eval()
+	clk.advance(time.Second)
+	o.Matches.Add(100)
+	o.SpecCommittedInputs.Add(900)
+	o.FallbackInputs.Add(100) // 10% of committed inputs came from fallback
+	rep := h.Eval()
+	if rep.State != "degraded" {
+		t.Fatalf("fallback trickle judged %q, want degraded: %+v", rep.State, rep)
+	}
+}
+
+// TestHealthMinValidations: below the validation floor the model never
+// judges rates (a single unlucky boundary must not page anyone).
+func TestHealthMinValidations(t *testing.T) {
+	o := obs.NewObserver(1, 64)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	h := NewHealth(o, HealthConfig{Window: 10 * time.Second, MinValidations: 50, Now: clk.now})
+
+	h.Eval()
+	clk.advance(time.Second)
+	o.Matches.Add(1)
+	o.Mismatches.Add(1)
+	o.Aborts.Add(1)
+	rep := h.Eval()
+	if rep.State != "ok" {
+		t.Fatalf("2 validations judged %q with MinValidations=50, want ok: %+v", rep.State, rep)
+	}
+}
+
+// TestHealthCounterReset: a fresh observer behind the same model (counter
+// regression) must clamp deltas to zero, not panic or go negative.
+func TestHealthCounterReset(t *testing.T) {
+	o := obs.NewObserver(1, 64)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	h := NewHealth(o, HealthConfig{Window: 10 * time.Second, Now: clk.now})
+
+	o.Matches.Add(100)
+	h.Eval()
+	clk.advance(time.Second)
+	// Swap in a fresh observer's counters by building a new Health over a
+	// new observer but replaying the old samples is not possible from
+	// outside; instead simulate regression via a second model sharing the
+	// first sample. The guard lives in Eval's delta closure: feed a
+	// sample where counters went backwards by evaluating against the
+	// original baseline after only smaller increments on a new observer.
+	o2 := obs.NewObserver(1, 64)
+	h.o = o2 // counters all below the baseline sample now
+	rep := h.Eval()
+	if rep.State != "ok" || rep.Validations != 0 {
+		t.Fatalf("counter reset judged %q with %d validations, want ok/0: %+v",
+			rep.State, rep.Validations, rep)
+	}
+}
+
+// TestHealthSampleBound: pounding Eval far past maxHealthSamples must keep
+// the ring bounded (pairwise collapse) without losing window coverage.
+func TestHealthSampleBound(t *testing.T) {
+	o := obs.NewObserver(1, 64)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	h := NewHealth(o, HealthConfig{Window: time.Hour, Now: clk.now})
+
+	for i := 0; i < 4*maxHealthSamples; i++ {
+		clk.advance(time.Millisecond)
+		o.Matches.Inc()
+		h.Eval()
+	}
+	h.mu.Lock()
+	n := len(h.samples)
+	h.mu.Unlock()
+	if n > maxHealthSamples+1 {
+		t.Fatalf("sample ring grew to %d, bound is %d", n, maxHealthSamples)
+	}
+	rep := h.Eval()
+	if rep.Validations == 0 {
+		t.Fatal("collapse lost the window's validations")
+	}
+}

@@ -1,0 +1,366 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// Config configures a telemetry Server.
+type Config struct {
+	// Observer is the observability sink the server exposes. Required.
+	Observer *obs.Observer
+	// Health sets the /healthz window and thresholds (zero: defaults).
+	Health HealthConfig
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// SSEInterval is the /events poll interval (default 200ms).
+	SSEInterval time.Duration
+	// SSEMaxBatch bounds the events sent per SSE message; when a poll
+	// finds more, the oldest are dropped and counted (default 4096).
+	SSEMaxBatch int
+	// SampleInterval is the background health-sampling cadence, which
+	// keeps the /healthz window populated even under sparse scraping
+	// (default Window/8, floored at 100ms). Background sampling starts
+	// with Start and stops with Close; a handler obtained from a server
+	// that was never started samples only on request.
+	SampleInterval time.Duration
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.SSEInterval <= 0 {
+		c.SSEInterval = 200 * time.Millisecond
+	}
+	if c.SSEMaxBatch <= 0 {
+		c.SSEMaxBatch = 4096
+	}
+	if c.SampleInterval <= 0 {
+		c.SampleInterval = c.Health.withDefaults().Window / 8
+		if c.SampleInterval < 100*time.Millisecond {
+			c.SampleInterval = 100 * time.Millisecond
+		}
+	}
+	return c
+}
+
+// Server is the embeddable HTTP telemetry surface over one Observer:
+//
+//	GET /metrics  Prometheus text exposition of the metrics registry
+//	GET /healthz  windowed speculation health (200 ok/degraded, 503 aborting)
+//	GET /events   live SSE stream of the speculation event log
+//	GET /trace    Chrome trace_event JSON flight-recorder dump
+//	GET /spans    causal span trees reconstructed from the event log
+//	GET /debug/pprof/...  (when Config.EnablePprof)
+//
+// Every endpoint reads the tracer and registry through their lock-free
+// snapshot paths; a scrape or an attached stream client never blocks
+// Tracer.Emit. Use Start/Close for a standalone listener, or Handler to
+// embed the surface in an existing mux.
+type Server struct {
+	cfg    Config
+	health *Health
+
+	// scrapes counts /metrics requests; sseDropped counts events
+	// dropped on the way to slow SSE clients. Both are registered in
+	// the observer's registry so the surface observes itself.
+	scrapes    *obs.Counter
+	sseDropped *obs.Counter
+	sseClients *obs.Gauge
+
+	mu   sync.Mutex
+	srv  *http.Server
+	ln   net.Listener
+	done chan struct{} // closed on Close; unblocks SSE loops and the sampler
+}
+
+// NewServer builds a Server over cfg.Observer. It panics on a nil
+// observer — an unobserved server has nothing to serve.
+func NewServer(cfg Config) *Server {
+	if cfg.Observer == nil {
+		panic("telemetry: Config.Observer is nil")
+	}
+	cfg = cfg.withDefaults()
+	reg := cfg.Observer.Reg
+	s := &Server{
+		cfg:        cfg,
+		health:     NewHealth(cfg.Observer, cfg.Health),
+		scrapes:    reg.Counter("telemetry_scrapes_total"),
+		sseDropped: reg.Counter("telemetry_sse_dropped_events_total"),
+		sseClients: reg.Gauge("telemetry_sse_clients"),
+		done:       make(chan struct{}),
+	}
+	reg.SetHelp("telemetry_scrapes_total", "GET /metrics requests served")
+	reg.SetHelp("telemetry_sse_dropped_events_total", "events dropped before reaching slow /events clients")
+	reg.SetHelp("telemetry_sse_clients", "currently attached /events clients")
+	return s
+}
+
+// Health returns the server's health model (the one /healthz evaluates).
+func (s *Server) Health() *Health { return s.health }
+
+// Handler returns the telemetry surface as an http.Handler, for embedding
+// into an existing server or mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/trace", s.handleTrace)
+	mux.HandleFunc("/spans", s.handleSpans)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// Start listens on addr (e.g. ":8080", "127.0.0.1:0") and serves the
+// telemetry surface until Close. It also starts the background health
+// sampler. Start returns once the listener is bound; use Addr for the
+// bound address.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	s.mu.Lock()
+	if s.srv != nil {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("telemetry: server already started")
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler()}
+	s.mu.Unlock()
+	go s.srv.Serve(ln)
+	go s.sampleLoop()
+	return nil
+}
+
+// Addr returns the bound listen address ("" before Start).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// URL returns "http://<addr>" ("" before Start).
+func (s *Server) URL() string {
+	a := s.Addr()
+	if a == "" {
+		return ""
+	}
+	return "http://" + a
+}
+
+// Close gracefully shuts the server down: the health sampler and attached
+// SSE streams stop, in-flight requests get a short drain window, then the
+// listener closes. Safe to call multiple times and on a never-started
+// server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	select {
+	case <-s.done:
+	default:
+		close(s.done)
+	}
+	srv := s.srv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return srv.Close()
+	}
+	return nil
+}
+
+// sampleLoop keeps the health window populated between scrapes.
+func (s *Server) sampleLoop() {
+	t := time.NewTicker(s.cfg.SampleInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			s.health.Eval()
+		}
+	}
+}
+
+// handleIndex lists the endpoints.
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `STATS runtime telemetry
+  /metrics  Prometheus text exposition
+  /healthz  windowed speculation health
+  /events   live event stream (SSE; ?once=1 for a single snapshot)
+  /trace    Chrome trace_event JSON (chrome://tracing, ui.perfetto.dev)
+  /spans    causal span trees of the speculation lifecycle
+`)
+	if s.cfg.EnablePprof {
+		fmt.Fprintln(w, "  /debug/pprof/  runtime profiles")
+	}
+}
+
+// handleMetrics serves the registry in the Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.scrapes.Inc()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.cfg.Observer.Reg.WriteText(w)
+}
+
+// handleHealthz serves the health verdict: HTTP 200 for ok and degraded
+// (degraded is a warning, not an outage), 503 for aborting.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	rep := s.health.Eval()
+	w.Header().Set("Content-Type", "application/json")
+	if rep.state() == HealthAborting {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(rep)
+}
+
+// sseEvent is the wire form of one event on the /events stream.
+type sseEvent struct {
+	// TS is nanoseconds since the tracer epoch; Lane, Group and Arg are
+	// the event's raw fields; Kind is the event kind's stable name.
+	TS    int64  `json:"ts"`
+	Lane  int16  `json:"lane"`
+	Kind  string `json:"kind"`
+	Group int32  `json:"group"`
+	Arg   int64  `json:"arg"`
+}
+
+// sseBatch is one SSE data message: the new events since the last message
+// and how many were dropped to keep the batch bounded.
+type sseBatch struct {
+	// Events are the batch's events in time order.
+	Events []sseEvent `json:"events"`
+	// Dropped counts events discarded because the client fell behind
+	// the emission rate (bounded batch), for this batch only.
+	Dropped int64 `json:"dropped,omitempty"`
+}
+
+// handleEvents streams the speculation event log as server-sent events:
+// one JSON batch per poll interval containing the events newer than the
+// previous batch. The stream is built from incremental lock-free
+// snapshots, so attached clients never block the emitting engine; a
+// client slower than the event rate loses oldest-first (counted in the
+// batch's dropped field and the telemetry_sse_dropped_events_total
+// counter). Query parameters: once=1 sends a single batch and closes;
+// since=<ns> starts the cursor at the given timestamp instead of
+// streaming the whole retained log.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	// Flush the headers now: a client attaching before the first event
+	// must see the stream open immediately, not when a batch happens by.
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	once := r.URL.Query().Get("once") != ""
+	var cursor int64 = -1 << 62
+	if since := r.URL.Query().Get("since"); since != "" {
+		fmt.Sscanf(since, "%d", &cursor)
+	}
+
+	s.sseClients.Add(1)
+	defer s.sseClients.Add(-1)
+
+	enc := json.NewEncoder(w)
+	tick := time.NewTicker(s.cfg.SSEInterval)
+	defer tick.Stop()
+	for {
+		snap := s.cfg.Observer.Tracer.Snapshot()
+		batch := sseBatch{}
+		for _, e := range snap {
+			if e.TS > cursor {
+				batch.Events = append(batch.Events, sseEvent{
+					TS: e.TS, Lane: e.Lane, Kind: e.Kind.String(),
+					Group: e.Group, Arg: e.Arg,
+				})
+			}
+		}
+		if n := len(batch.Events); n > s.cfg.SSEMaxBatch {
+			batch.Dropped = int64(n - s.cfg.SSEMaxBatch)
+			s.sseDropped.Add(batch.Dropped)
+			batch.Events = batch.Events[n-s.cfg.SSEMaxBatch:]
+		}
+		if len(batch.Events) > 0 {
+			cursor = batch.Events[len(batch.Events)-1].TS
+		}
+		if len(batch.Events) > 0 || once {
+			if _, err := fmt.Fprint(w, "data: "); err != nil {
+				return
+			}
+			if err := enc.Encode(batch); err != nil {
+				return
+			}
+			if _, err := fmt.Fprint(w, "\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+		if once {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.done:
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// handleTrace serves the current event log as Chrome trace_event JSON —
+// an on-demand flight-recorder dump of the retained rings.
+func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="stats-trace.json"`)
+	_ = trace.ChromeTrace(w, s.cfg.Observer.Tracer.Snapshot())
+}
+
+// handleSpans serves the reconstructed span trees as JSON.
+func (s *Server) handleSpans(w http.ResponseWriter, _ *http.Request) {
+	doc := BuildSpans(s.cfg.Observer.Tracer.Snapshot())
+	doc.Emitted = s.cfg.Observer.Tracer.Emitted()
+	doc.Dropped = s.cfg.Observer.Tracer.Dropped()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}

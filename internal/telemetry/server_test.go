@@ -1,0 +1,467 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+	"repro/internal/workload/registry"
+)
+
+// startEngine runs a real workload through the core engine in a loop at
+// full rate, emitting into o, until the returned stop function is called
+// (which waits for the run goroutine to drain).
+func startEngine(t *testing.T, o *obs.Observer) (stop func()) {
+	t.Helper()
+	w, err := registry.ByName("swaptions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		seed := uint64(1)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			w.RunSTATS(seed, workload.SmallSize, workload.SpecOptions{
+				UseAux: true, GroupSize: 4, Window: 2,
+				RedoMax: 2, Rollback: 2, Workers: 4, Obs: o,
+			})
+			seed++
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}
+
+// newTestServer builds a Server (fast SSE cadence for tests) and an
+// httptest front end over its Handler.
+func newTestServer(t *testing.T, o *obs.Observer) (*Server, *httptest.Server) {
+	t.Helper()
+	s := NewServer(Config{
+		Observer:    o,
+		SSEInterval: 10 * time.Millisecond,
+		EnablePprof: true,
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+// TestServerUnderEngineLoad scrapes /metrics, streams /events, and pulls
+// /trace and /spans concurrently while a real engine run emits at full
+// rate — the race detector guards the lock-free snapshot paths.
+func TestServerUnderEngineLoad(t *testing.T) {
+	o := obs.NewObserver(8, 1<<12)
+	stopEngine := startEngine(t, o)
+	defer stopEngine()
+	_, ts := newTestServer(t, o)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	get := func(path string) (*http.Response, error) {
+		return http.Get(ts.URL + path)
+	}
+
+	// Concurrent /metrics scrapers, each response must parse.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				resp, err := get("/metrics")
+				if err != nil {
+					errs <- err
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					errs <- errStatus("/metrics", resp.StatusCode)
+					return
+				}
+				if _, err := ParsePromText(string(body)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+
+	// /trace and /spans pullers: valid JSON every time.
+	for _, path := range []string{"/trace", "/spans"} {
+		path := path
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				resp, err := get(path)
+				if err != nil {
+					errs <- err
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					errs <- errStatus(path, resp.StatusCode)
+					return
+				}
+				var v any
+				if err := json.Unmarshal(body, &v); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+
+	// /healthz: must answer (state content depends on the run).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 10; j++ {
+			resp, err := get("/healthz")
+			if err != nil {
+				errs <- err
+				return
+			}
+			var rep HealthReport
+			err = json.NewDecoder(resp.Body).Decode(&rep)
+			resp.Body.Close()
+			if err != nil {
+				errs <- err
+				return
+			}
+			if rep.State == "" {
+				errs <- errStatus("/healthz empty state", resp.StatusCode)
+				return
+			}
+		}
+	}()
+
+	// An SSE client streaming live batches during the run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := get("/events")
+		if err != nil {
+			errs <- err
+			return
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+			errs <- errStatus("/events content-type "+ct, resp.StatusCode)
+			return
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<24)
+		batches := 0
+		for sc.Scan() && batches < 3 {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var b sseBatch
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &b); err != nil {
+				errs <- err
+				return
+			}
+			if len(b.Events) == 0 && b.Dropped == 0 {
+				errs <- errStatus("/events empty batch", 0)
+				return
+			}
+			batches++
+		}
+		if batches < 3 {
+			errs <- errStatus("/events stream ended early", 0)
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// errStatus builds an error for an unexpected response.
+func errStatus(what string, code int) error {
+	return fmt.Errorf("%s: unexpected response (status %d)", what, code)
+}
+
+// TestServerSpansRoundTrip runs a quickstart-scale workload to completion,
+// fetches /spans, and checks the JSON document reconstructs a coherent
+// forest: groups present, every complete group carrying an exec span, and
+// the rendered tree mentioning each group.
+func TestServerSpansRoundTrip(t *testing.T) {
+	o := obs.NewObserver(8, 1<<14)
+	w, err := registry.ByName("swaptions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st := w.RunSTATS(1, workload.NativeSize, workload.SpecOptions{
+		UseAux: true, GroupSize: 8, Window: 2,
+		RedoMax: 2, Rollback: 2, Workers: 4, Obs: o,
+	})
+	if st.Groups == 0 {
+		t.Fatal("engine run produced no groups")
+	}
+	_, ts := newTestServer(t, o)
+
+	resp, err := http.Get(ts.URL + "/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc SpanDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Groups) == 0 {
+		t.Fatal("/spans returned no groups for a completed run")
+	}
+	if doc.Emitted == 0 {
+		t.Error("/spans did not carry the tracer's emitted total")
+	}
+	complete := 0
+	for _, g := range doc.Groups {
+		if g.Partial {
+			continue
+		}
+		complete++
+		hasExec := false
+		for _, c := range g.Children {
+			if c.Kind == SpanExec && c.DurNS >= 0 && c.EndNS >= c.StartNS {
+				hasExec = true
+			}
+		}
+		if !hasExec {
+			t.Errorf("complete group %d has no exec span", g.Group)
+		}
+	}
+	if doc.Dropped == 0 && complete != len(doc.Groups) {
+		t.Errorf("no ring loss but %d/%d groups partial", len(doc.Groups)-complete, len(doc.Groups))
+	}
+	rendered := SpanString(&doc)
+	if !strings.Contains(rendered, "g000") || !strings.Contains(rendered, "validate") {
+		t.Errorf("rendered span view missing expected structure:\n%s", rendered)
+	}
+}
+
+// TestServerMetricsParseCompliance scrapes a populated registry and runs
+// the exposition through the structural parser: TYPE-before-samples,
+// cumulative complete buckets, +Inf == _count.
+func TestServerMetricsParseCompliance(t *testing.T) {
+	o := obs.NewObserver(2, 256)
+	o.Matches.Add(7)
+	o.ValidationLatencyNS.Observe(100)
+	o.ValidationLatencyNS.Observe(90000)
+	o.Tracer.Emit(0, obs.EvGroupStart, 0, 0)
+	_, ts := newTestServer(t, o)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); !strings.HasPrefix(got, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q, want text/plain; version=0.0.4", got)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	m, err := ParsePromText(string(body))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, body)
+	}
+	if v, ok := m.Value("stats_validation_match_total"); !ok || v != 7 {
+		t.Errorf("stats_validation_match_total = %v (present=%v), want 7", v, ok)
+	}
+	if v, ok := m.Value("trace_events_emitted_total"); !ok || v < 1 {
+		t.Errorf("trace_events_emitted_total = %v (present=%v), want >= 1", v, ok)
+	}
+	if typ := m.Types["stats_validation_latency_ns"]; typ != "histogram" {
+		t.Errorf("stats_validation_latency_ns TYPE = %q, want histogram", typ)
+	}
+	if m.Help["stats_aborts_total"] == "" {
+		t.Error("stats_aborts_total has no HELP line")
+	}
+	// The server counts its own scrapes.
+	if _, err := http.Get(ts.URL + "/metrics"); err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	m2, err := ParsePromText(string(body2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m2.Value("telemetry_scrapes_total"); v < 3 {
+		t.Errorf("telemetry_scrapes_total = %v, want >= 3", v)
+	}
+}
+
+// TestServerEventsOnce exercises the curl-friendly single-batch mode used
+// by the serve-smoke target: one data message, then the handler returns.
+func TestServerEventsOnce(t *testing.T) {
+	o := obs.NewObserver(2, 256)
+	o.Tracer.Emit(0, obs.EvGroupStart, 0, 0)
+	o.Tracer.Emit(0, obs.EvGroupFinish, 0, 5)
+	_, ts := newTestServer(t, o)
+
+	client := http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(ts.URL + "/events?once=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body) // must terminate without the timeout
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.HasPrefix(text, "data: ") {
+		t.Fatalf("once-mode response is not one SSE message: %q", text)
+	}
+	var b sseBatch
+	if err := json.Unmarshal([]byte(strings.TrimPrefix(strings.TrimSpace(text), "data: ")), &b); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Events) != 2 || b.Events[0].Kind != obs.EvGroupStart.String() {
+		t.Errorf("once batch = %+v, want the two emitted events", b)
+	}
+}
+
+// TestServerStartClose exercises the standalone listener lifecycle: bind
+// an ephemeral port, serve a scrape, shut down (an attached SSE stream
+// must be released), and tolerate double Close.
+func TestServerStartClose(t *testing.T) {
+	o := obs.NewObserver(2, 256)
+	s := NewServer(Config{Observer: o, SSEInterval: 10 * time.Millisecond})
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr() == "" || s.URL() == "" {
+		t.Fatal("started server reports no address")
+	}
+	if err := s.Start("127.0.0.1:0"); err == nil {
+		t.Error("double Start did not fail")
+	}
+
+	resp, err := http.Get(s.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	// Attach a streaming client, then Close: the stream must end.
+	streamDone := make(chan struct{})
+	go func() {
+		defer close(streamDone)
+		resp, err := http.Get(s.URL() + "/events")
+		if err != nil {
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	time.Sleep(50 * time.Millisecond) // let the stream attach
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case <-streamDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE stream not released by Close")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestServerHealthzStatusCodes: aborting is 503, ok is 200.
+func TestServerHealthzStatusCodes(t *testing.T) {
+	o := obs.NewObserver(1, 64)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	s := NewServer(Config{Observer: o, Health: HealthConfig{Window: 10 * time.Second, Now: clk.now}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("ok health served %d, want 200", resp.StatusCode)
+	}
+
+	s.Health().Eval() // baseline sample
+	clk.advance(time.Second)
+	o.Matches.Add(10)
+	o.Aborts.Add(10) // 50% abort rate: aborting
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep HealthReport
+	json.NewDecoder(resp.Body).Decode(&rep)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || rep.State != "aborting" {
+		t.Errorf("abort storm served %d/%q, want 503/aborting", resp.StatusCode, rep.State)
+	}
+}
+
+// TestServerPprofGate: the profile endpoints exist only behind the flag.
+func TestServerPprofGate(t *testing.T) {
+	o := obs.NewObserver(1, 64)
+	on := NewServer(Config{Observer: o, EnablePprof: true})
+	off := NewServer(Config{Observer: obs.NewObserver(1, 64)})
+	tsOn := httptest.NewServer(on.Handler())
+	tsOff := httptest.NewServer(off.Handler())
+	defer tsOn.Close()
+	defer tsOff.Close()
+	defer on.Close()
+	defer off.Close()
+
+	resp, err := http.Get(tsOn.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("pprof enabled served %d, want 200", resp.StatusCode)
+	}
+	resp, err = http.Get(tsOff.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof disabled served %d, want 404", resp.StatusCode)
+	}
+}

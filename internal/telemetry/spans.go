@@ -1,0 +1,370 @@
+// Package telemetry is the serving surface of the observability layer: an
+// embeddable HTTP server exposing the runtime's metrics registry
+// (Prometheus text exposition), a windowed health model over the
+// speculation counters, a live event stream (SSE), on-demand Chrome-trace
+// dumps, and a causal span model reconstructed from the speculation event
+// log.
+//
+// The span model turns internal/obs's flat, per-lane event rings into the
+// structure the paper's evaluation reasons about: one span tree per
+// speculation group, connecting the group's auxiliary-state production to
+// its execution, its boundary validation (with every redo), and its abort,
+// squash or fallback outcome. Reconstruction is tolerant of the tracer's
+// bounded rings: a group whose records were partially overwritten is
+// flagged partial, never fabricated.
+//
+// Everything here reads the tracer and registry through their lock-free
+// snapshot paths, so a live scrape or an attached stream client never
+// blocks Tracer.Emit — the engine's hot path stays hot while the system
+// is observed.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Span kinds, the node types of a group's span tree.
+const (
+	// SpanGroup is a tree root: one speculation group's whole lifecycle.
+	SpanGroup = "group"
+	// SpanExec is the group's execution on a worker (EvGroupStart →
+	// EvGroupFinish).
+	SpanExec = "exec"
+	// SpanAux is the auxiliary-code production of the group's
+	// speculative start state (instant; Arg is the window consumed).
+	SpanAux = "aux"
+	// SpanValidate is the group boundary's resolution: from the first
+	// rejection (or the acceptance itself) to the final match or abort.
+	// Its children are the redo spans the resolution consumed.
+	SpanValidate = "validate"
+	// SpanRedo is one original-producer re-execution (instant; Arg is
+	// the attempt number).
+	SpanRedo = "redo"
+	// SpanSquash marks the group's in-flight work being squashed by an
+	// abort (instant; Arg is the number of inputs discarded).
+	SpanSquash = "squash"
+	// SpanFallback marks the sequential fallback starting at this group
+	// after an abort (instant; Arg is the number of inputs reprocessed).
+	SpanFallback = "fallback"
+)
+
+// Group outcomes, derived from the terminal event observed for the group.
+const (
+	// OutcomeValidated: the group's speculative start state was accepted.
+	OutcomeValidated = "validated"
+	// OutcomeAborted: the group's boundary exhausted its redo budget.
+	OutcomeAborted = "aborted"
+	// OutcomeSquashed: the group was squashed by an earlier abort.
+	OutcomeSquashed = "squashed"
+	// OutcomeUnvalidated: no validation event was observed — group 0
+	// (which never speculates), a run still in flight, or a log whose
+	// validation records were evicted.
+	OutcomeUnvalidated = "unvalidated"
+)
+
+// Span is one node of a group's reconstructed span tree. Timestamps are
+// nanoseconds since the tracer's epoch, as recorded in the event log.
+type Span struct {
+	// Kind is the node type (SpanGroup, SpanExec, ...).
+	Kind string `json:"kind"`
+	// Group is the speculation group the span concerns.
+	Group int32 `json:"group"`
+	// StartNS and EndNS bound the span; instants have StartNS == EndNS.
+	StartNS int64 `json:"start_ns"`
+	EndNS   int64 `json:"end_ns"`
+	// DurNS is EndNS - StartNS, precomputed for consumers.
+	DurNS int64 `json:"dur_ns"`
+	// Outcome annotates group roots (OutcomeValidated, ...) and validate
+	// spans ("match", "match-after-redo", "abort", "unresolved").
+	Outcome string `json:"outcome,omitempty"`
+	// Arg is the kind-specific argument of the underlying event (outputs
+	// produced, window consumed, redo attempt, inputs squashed).
+	Arg int64 `json:"arg,omitempty"`
+	// Redos is the number of re-executions a validate span consumed.
+	Redos int `json:"redos,omitempty"`
+	// Partial marks a span whose bounding events were partially evicted
+	// by the tracer's bounded rings: its timestamps cover only what was
+	// observed, nothing is fabricated.
+	Partial bool `json:"partial,omitempty"`
+	// Children are the span's sub-spans, in start order.
+	Children []*Span `json:"children,omitempty"`
+}
+
+// SpanDoc is the reconstructed span forest for one event-log snapshot —
+// the payload of the server's /spans endpoint.
+type SpanDoc struct {
+	// Events is the number of events the reconstruction consumed
+	// (engine events; scheduler dispatch events are counted separately).
+	Events int `json:"events"`
+	// SchedulerEvents is the number of steal/local-hit/task-finish
+	// events in the snapshot, which the span model does not consume.
+	SchedulerEvents int `json:"scheduler_events"`
+	// Emitted and Dropped are the tracer's lifetime totals at snapshot
+	// time; Dropped > 0 explains Partial spans.
+	Emitted int64 `json:"emitted"`
+	Dropped int64 `json:"dropped"`
+	// PartialGroups counts group roots flagged Partial.
+	PartialGroups int `json:"partial_groups"`
+	// Groups are the span trees, ordered by group index.
+	Groups []*Span `json:"groups"`
+}
+
+// BuildSpans folds a tracer snapshot into per-group span trees. The input
+// may be unordered; scheduler lane events are ignored (they belong to the
+// flat /events and /trace views). Equal inputs yield identical output.
+func BuildSpans(events []obs.Event) *SpanDoc {
+	sorted := make([]obs.Event, len(events))
+	copy(sorted, events)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].TS < sorted[j].TS })
+
+	doc := &SpanDoc{}
+	type groupAcc struct {
+		execStart, execEnd *obs.Event
+		aux                *obs.Event
+		valFirst, valEnd   *obs.Event // first validation-related event, terminal match/abort
+		redos              []obs.Event
+		mismatch           *obs.Event
+		squash, fallback   *obs.Event
+		matched, aborted   bool
+		firstTS, lastTS    int64
+		seen               bool
+	}
+	accs := map[int32]*groupAcc{}
+	acc := func(g int32, ts int64) *groupAcc {
+		a := accs[g]
+		if a == nil {
+			a = &groupAcc{firstTS: ts, lastTS: ts}
+			accs[g] = a
+		}
+		if !a.seen {
+			a.firstTS, a.lastTS, a.seen = ts, ts, true
+		}
+		if ts < a.firstTS {
+			a.firstTS = ts
+		}
+		if ts > a.lastTS {
+			a.lastTS = ts
+		}
+		return a
+	}
+
+	for i := range sorted {
+		e := &sorted[i]
+		switch e.Kind {
+		case obs.EvSteal, obs.EvLocalHit, obs.EvTaskFinish:
+			doc.SchedulerEvents++
+			continue
+		}
+		doc.Events++
+		a := acc(e.Group, e.TS)
+		switch e.Kind {
+		case obs.EvGroupStart:
+			a.execStart = e
+		case obs.EvGroupFinish:
+			a.execEnd = e
+		case obs.EvAuxProduced:
+			a.aux = e
+		case obs.EvValidateMismatch:
+			a.mismatch = e
+			if a.valFirst == nil {
+				a.valFirst = e
+			}
+		case obs.EvRedo:
+			a.redos = append(a.redos, *e)
+			if a.valFirst == nil {
+				a.valFirst = e
+			}
+		case obs.EvValidateMatch:
+			a.matched = true
+			if a.valFirst == nil {
+				a.valFirst = e
+			}
+			a.valEnd = e
+		case obs.EvAbort:
+			a.aborted = true
+			if a.valFirst == nil {
+				a.valFirst = e
+			}
+			a.valEnd = e
+		case obs.EvSquash:
+			a.squash = e
+		case obs.EvFallback:
+			a.fallback = e
+		}
+	}
+
+	ids := make([]int32, 0, len(accs))
+	for g := range accs {
+		ids = append(ids, g)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	for _, g := range ids {
+		a := accs[g]
+		root := &Span{Kind: SpanGroup, Group: g, StartNS: a.firstTS, EndNS: a.lastTS}
+		instant := func(kind string, e *obs.Event) *Span {
+			return &Span{Kind: kind, Group: g, StartNS: e.TS, EndNS: e.TS, Arg: e.Arg}
+		}
+		if a.aux != nil {
+			root.Children = append(root.Children, instant(SpanAux, a.aux))
+		}
+		switch {
+		case a.execStart != nil && a.execEnd != nil:
+			root.Children = append(root.Children, &Span{
+				Kind: SpanExec, Group: g,
+				StartNS: a.execStart.TS, EndNS: a.execEnd.TS,
+				DurNS: a.execEnd.TS - a.execStart.TS,
+				Arg:   a.execEnd.Arg,
+			})
+		case a.execStart != nil:
+			// Finish evicted or still running: the span covers only
+			// the observed start.
+			sp := instant(SpanExec, a.execStart)
+			sp.Partial = true
+			root.Children = append(root.Children, sp)
+			root.Partial = true
+		case a.execEnd != nil:
+			// Start evicted by ring wrap-around.
+			sp := instant(SpanExec, a.execEnd)
+			sp.Partial = true
+			root.Children = append(root.Children, sp)
+			root.Partial = true
+		default:
+			// No execution records at all: only marks survive.
+			root.Partial = true
+		}
+		if a.valFirst != nil {
+			v := &Span{
+				Kind: SpanValidate, Group: g,
+				StartNS: a.valFirst.TS,
+				Redos:   len(a.redos),
+			}
+			switch {
+			case a.matched && len(a.redos) > 0:
+				v.Outcome = "match-after-redo"
+			case a.matched:
+				v.Outcome = "match"
+			case a.aborted:
+				v.Outcome = "abort"
+			default:
+				v.Outcome = "unresolved"
+				v.Partial = true
+				root.Partial = true
+			}
+			if a.valEnd != nil {
+				v.EndNS = a.valEnd.TS
+				v.Arg = a.valEnd.Arg
+			} else {
+				last := a.valFirst.TS
+				if n := len(a.redos); n > 0 && a.redos[n-1].TS > last {
+					last = a.redos[n-1].TS
+				}
+				v.EndNS = last
+			}
+			v.DurNS = v.EndNS - v.StartNS
+			for i := range a.redos {
+				v.Children = append(v.Children, instant(SpanRedo, &a.redos[i]))
+			}
+			root.Children = append(root.Children, v)
+		}
+		if a.squash != nil {
+			root.Children = append(root.Children, instant(SpanSquash, a.squash))
+		}
+		if a.fallback != nil {
+			root.Children = append(root.Children, instant(SpanFallback, a.fallback))
+		}
+		switch {
+		case a.aborted:
+			root.Outcome = OutcomeAborted
+		case a.squash != nil:
+			root.Outcome = OutcomeSquashed
+		case a.matched:
+			root.Outcome = OutcomeValidated
+		default:
+			root.Outcome = OutcomeUnvalidated
+		}
+		root.DurNS = root.EndNS - root.StartNS
+		sort.SliceStable(root.Children, func(i, j int) bool {
+			return root.Children[i].StartNS < root.Children[j].StartNS
+		})
+		if root.Partial {
+			doc.PartialGroups++
+		}
+		doc.Groups = append(doc.Groups, root)
+	}
+	return doc
+}
+
+// RenderSpans writes the span forest as an indented text tree — the view
+// statstrace presents for a live run or a /spans JSON document.
+func RenderSpans(w io.Writer, doc *SpanDoc) {
+	fmt.Fprintf(w, "spans: %d groups (%d partial), %d engine events, %d scheduler events",
+		len(doc.Groups), doc.PartialGroups, doc.Events, doc.SchedulerEvents)
+	if doc.Dropped > 0 {
+		fmt.Fprintf(w, ", %d/%d events dropped by the bounded rings", doc.Dropped, doc.Emitted)
+	}
+	fmt.Fprintln(w)
+	for _, g := range doc.Groups {
+		renderSpan(w, g, 0)
+	}
+}
+
+// renderSpan writes one span node and recurses into its children.
+func renderSpan(w io.Writer, s *Span, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch s.Kind {
+	case SpanGroup:
+		fmt.Fprintf(w, "%sg%03d [t+%s %s] %s%s\n", indent, s.Group,
+			fmtNS(s.StartNS), fmtNS(s.DurNS), s.Outcome, partialMark(s))
+	case SpanExec:
+		fmt.Fprintf(w, "%sexec     %s outputs=%d%s\n", indent, fmtNS(s.DurNS), s.Arg, partialMark(s))
+	case SpanAux:
+		fmt.Fprintf(w, "%saux      @t+%s window=%d\n", indent, fmtNS(s.StartNS), s.Arg)
+	case SpanValidate:
+		fmt.Fprintf(w, "%svalidate %s %s redos=%d%s\n", indent, fmtNS(s.DurNS), s.Outcome, s.Redos, partialMark(s))
+	case SpanRedo:
+		fmt.Fprintf(w, "%sredo #%d @t+%s\n", indent, s.Arg, fmtNS(s.StartNS))
+	case SpanSquash:
+		fmt.Fprintf(w, "%ssquash   @t+%s inputs=%d\n", indent, fmtNS(s.StartNS), s.Arg)
+	case SpanFallback:
+		fmt.Fprintf(w, "%sfallback @t+%s inputs=%d\n", indent, fmtNS(s.StartNS), s.Arg)
+	default:
+		fmt.Fprintf(w, "%s%s [t+%s %s]%s\n", indent, s.Kind, fmtNS(s.StartNS), fmtNS(s.DurNS), partialMark(s))
+	}
+	for _, c := range s.Children {
+		renderSpan(w, c, depth+1)
+	}
+}
+
+// partialMark renders the partial flag as a suffix.
+func partialMark(s *Span) string {
+	if s.Partial {
+		return " (partial)"
+	}
+	return ""
+}
+
+// fmtNS renders a nanosecond quantity compactly.
+func fmtNS(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fµs", float64(ns)/1e3)
+	}
+	return fmt.Sprintf("%dns", ns)
+}
+
+// SpanString renders doc to a string.
+func SpanString(doc *SpanDoc) string {
+	var b strings.Builder
+	RenderSpans(&b, doc)
+	return b.String()
+}

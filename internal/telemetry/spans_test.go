@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// goldenLog is a hand-written speculation event log covering the span
+// model's whole surface: a non-speculative group 0, a validated group with
+// one redo, an aborted group with squash and fallback marks, and a group
+// whose start record was evicted by ring wrap-around (truncated). Events
+// are deliberately out of time order to exercise the sort.
+func goldenLog() []obs.Event {
+	return []obs.Event{
+		// Group 2: aborted after two redos, then squash + fallback marks.
+		{TS: 6100, Lane: obs.LaneCoord, Kind: obs.EvAbort, Group: 2},
+		{TS: 600, Lane: 2, Kind: obs.EvAuxProduced, Group: 2, Arg: 4},
+		{TS: 1400, Lane: 2, Kind: obs.EvGroupStart, Group: 2},
+		{TS: 5400, Lane: 2, Kind: obs.EvGroupFinish, Group: 2, Arg: 0},
+		{TS: 5800, Lane: obs.LaneCoord, Kind: obs.EvValidateMismatch, Group: 2},
+		{TS: 5900, Lane: obs.LaneCoord, Kind: obs.EvRedo, Group: 2, Arg: 1},
+		{TS: 6000, Lane: obs.LaneCoord, Kind: obs.EvRedo, Group: 2, Arg: 2},
+		{TS: 6150, Lane: obs.LaneCoord, Kind: obs.EvSquash, Group: 2, Arg: 7},
+		{TS: 6200, Lane: obs.LaneCoord, Kind: obs.EvFallback, Group: 2, Arg: 12},
+
+		// Group 0: plain execution, never validated (group 0 never
+		// speculates).
+		{TS: 5000, Lane: 0, Kind: obs.EvGroupFinish, Group: 0, Arg: 10},
+		{TS: 1000, Lane: 0, Kind: obs.EvGroupStart, Group: 0},
+
+		// Group 1: validated on the second try.
+		{TS: 500, Lane: 1, Kind: obs.EvAuxProduced, Group: 1, Arg: 4},
+		{TS: 1200, Lane: 1, Kind: obs.EvGroupStart, Group: 1},
+		{TS: 5200, Lane: 1, Kind: obs.EvGroupFinish, Group: 1, Arg: 8},
+		{TS: 5300, Lane: obs.LaneCoord, Kind: obs.EvValidateMismatch, Group: 1},
+		{TS: 5400, Lane: obs.LaneCoord, Kind: obs.EvRedo, Group: 1, Arg: 1},
+		{TS: 5600, Lane: obs.LaneCoord, Kind: obs.EvValidateMatch, Group: 1},
+
+		// Group 3: truncated by ring overwrite — only the finish survives.
+		{TS: 7000, Lane: 3, Kind: obs.EvGroupFinish, Group: 3, Arg: 3},
+
+		// Scheduler lane events: not part of the span model.
+		{TS: 2000, Lane: 2, Kind: obs.EvSteal, Group: -1, Arg: 1},
+		{TS: 2100, Lane: 2, Kind: obs.EvTaskFinish, Group: -1},
+	}
+}
+
+const goldenRender = `spans: 4 groups (1 partial), 18 engine events, 2 scheduler events
+g000 [t+1.00µs 4.00µs] unvalidated
+  exec     4.00µs outputs=10
+g001 [t+500ns 5.10µs] validated
+  aux      @t+500ns window=4
+  exec     4.00µs outputs=8
+  validate 300ns match-after-redo redos=1
+    redo #1 @t+5.40µs
+g002 [t+600ns 5.60µs] aborted
+  aux      @t+600ns window=4
+  exec     4.00µs outputs=0
+  validate 300ns abort redos=2
+    redo #1 @t+5.90µs
+    redo #2 @t+6.00µs
+  squash   @t+6.15µs inputs=7
+  fallback @t+6.20µs inputs=12
+g003 [t+7.00µs 0ns] unvalidated (partial)
+  exec     0ns outputs=3 (partial)
+`
+
+// TestBuildSpansGolden reconstructs the golden log and compares the
+// rendered span forest against the expected tree, including the truncated
+// (ring-overwritten) group 3 flagged partial.
+func TestBuildSpansGolden(t *testing.T) {
+	doc := BuildSpans(goldenLog())
+	if got := SpanString(doc); got != goldenRender {
+		t.Errorf("rendered spans mismatch:\n--- got ---\n%s--- want ---\n%s", got, goldenRender)
+	}
+	if doc.PartialGroups != 1 {
+		t.Errorf("PartialGroups = %d, want 1", doc.PartialGroups)
+	}
+	if doc.Events != 18 || doc.SchedulerEvents != 2 {
+		t.Errorf("Events=%d SchedulerEvents=%d, want 18/2", doc.Events, doc.SchedulerEvents)
+	}
+	outcomes := map[int32]string{0: OutcomeUnvalidated, 1: OutcomeValidated, 2: OutcomeAborted, 3: OutcomeUnvalidated}
+	for _, g := range doc.Groups {
+		if g.Outcome != outcomes[g.Group] {
+			t.Errorf("group %d outcome = %q, want %q", g.Group, g.Outcome, outcomes[g.Group])
+		}
+	}
+}
+
+// TestBuildSpansDeterministic checks that reconstruction is insensitive to
+// the snapshot's event order (the tracer merges lanes, but callers may
+// feed saved logs in any order).
+func TestBuildSpansDeterministic(t *testing.T) {
+	log := goldenLog()
+	rev := make([]obs.Event, len(log))
+	for i, e := range log {
+		rev[len(log)-1-i] = e
+	}
+	a, _ := json.Marshal(BuildSpans(log))
+	b, _ := json.Marshal(BuildSpans(rev))
+	if string(a) != string(b) {
+		t.Errorf("reconstruction depends on input order:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestBuildSpansJSONRoundTrip ensures the /spans JSON document carries
+// everything statstrace needs: unmarshalling it and rendering reproduces
+// the live rendering exactly.
+func TestBuildSpansJSONRoundTrip(t *testing.T) {
+	doc := BuildSpans(goldenLog())
+	blob, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SpanDoc
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if got := SpanString(&back); got != goldenRender {
+		t.Errorf("round-tripped rendering mismatch:\n--- got ---\n%s--- want ---\n%s", got, goldenRender)
+	}
+}
+
+// TestBuildSpansUnresolvedValidation covers a log cut off mid-validation:
+// the boundary saw a mismatch and a redo but no terminal event, so the
+// validate span is unresolved and partial, with timestamps covering only
+// what was observed.
+func TestBuildSpansUnresolvedValidation(t *testing.T) {
+	doc := BuildSpans([]obs.Event{
+		{TS: 100, Lane: 1, Kind: obs.EvGroupStart, Group: 1},
+		{TS: 900, Lane: 1, Kind: obs.EvGroupFinish, Group: 1, Arg: 5},
+		{TS: 1000, Lane: obs.LaneCoord, Kind: obs.EvValidateMismatch, Group: 1},
+		{TS: 1100, Lane: obs.LaneCoord, Kind: obs.EvRedo, Group: 1, Arg: 1},
+	})
+	if len(doc.Groups) != 1 {
+		t.Fatalf("groups = %d, want 1", len(doc.Groups))
+	}
+	g := doc.Groups[0]
+	if !g.Partial || g.Outcome != OutcomeUnvalidated {
+		t.Errorf("group partial=%v outcome=%q, want partial unvalidated", g.Partial, g.Outcome)
+	}
+	var v *Span
+	for _, c := range g.Children {
+		if c.Kind == SpanValidate {
+			v = c
+		}
+	}
+	if v == nil {
+		t.Fatal("no validate span")
+	}
+	if v.Outcome != "unresolved" || !v.Partial {
+		t.Errorf("validate outcome=%q partial=%v, want unresolved partial", v.Outcome, v.Partial)
+	}
+	if v.StartNS != 1000 || v.EndNS != 1100 {
+		t.Errorf("validate bounds [%d,%d], want [1000,1100] (observed events only)", v.StartNS, v.EndNS)
+	}
+	if doc.PartialGroups != 1 {
+		t.Errorf("PartialGroups = %d, want 1", doc.PartialGroups)
+	}
+}
+
+// TestBuildSpansEmpty keeps the degenerate cases stable.
+func TestBuildSpansEmpty(t *testing.T) {
+	doc := BuildSpans(nil)
+	if len(doc.Groups) != 0 || doc.Events != 0 || doc.PartialGroups != 0 {
+		t.Errorf("empty log produced %+v", doc)
+	}
+}

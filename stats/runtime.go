@@ -1,10 +1,12 @@
 package stats
 
 import (
+	"net/http"
 	"sync"
 
 	"repro/internal/obs"
 	"repro/internal/pool"
+	"repro/internal/telemetry"
 )
 
 // Runtime owns the worker pool the paper's runtime shares across all state
@@ -21,6 +23,7 @@ type Runtime struct {
 	mu              sync.Mutex
 	allowUnverified bool
 	programs        []*Program
+	telemetry       *telemetry.Server
 }
 
 // TraceEvent is one record of the runtime's speculation event log (see
@@ -102,9 +105,63 @@ func (rt *Runtime) Scheduler() SchedulerMetrics {
 	}
 }
 
-// Close drains and stops the pool. Dependences attached to a closed
-// runtime fall back to inline execution.
-func (rt *Runtime) Close() { rt.pool.Close() }
+// Telemetry is the runtime's HTTP telemetry server: /metrics (Prometheus
+// text), /healthz (windowed speculation health), /events (live SSE
+// stream), /trace (Chrome trace_event JSON) and /spans (causal span
+// trees). See repro/internal/telemetry.
+type Telemetry = telemetry.Server
+
+// TelemetryConfig configures Serve/ServeHandler beyond the defaults
+// (health window and thresholds, SSE cadence, pprof).
+type TelemetryConfig = telemetry.Config
+
+// Serve starts the runtime's telemetry server on addr (e.g. ":8080", or
+// "127.0.0.1:0" for an ephemeral port — read the bound address from the
+// returned server). The server stays up until Close is called on it or on
+// the runtime; every endpoint reads through the observability layer's
+// lock-free snapshot paths, so serving never slows an attached
+// dependence's run.
+func (rt *Runtime) Serve(addr string) (*Telemetry, error) {
+	return rt.ServeConfigured(addr, TelemetryConfig{})
+}
+
+// ServeConfigured is Serve with explicit telemetry configuration; the
+// Observer field is overridden with the runtime's own.
+func (rt *Runtime) ServeConfigured(addr string, cfg TelemetryConfig) (*Telemetry, error) {
+	cfg.Observer = rt.obs
+	srv := telemetry.NewServer(cfg)
+	if err := srv.Start(addr); err != nil {
+		return nil, err
+	}
+	rt.mu.Lock()
+	if rt.telemetry != nil {
+		rt.telemetry.Close()
+	}
+	rt.telemetry = srv
+	rt.mu.Unlock()
+	return srv, nil
+}
+
+// ServeHandler returns the telemetry surface as an http.Handler for
+// embedding into an existing server or mux (no listener is started; the
+// handler lives as long as the runtime).
+func (rt *Runtime) ServeHandler() http.Handler {
+	return telemetry.NewServer(TelemetryConfig{Observer: rt.obs}).Handler()
+}
+
+// Close drains and stops the pool, and shuts down the telemetry server if
+// Serve started one. Dependences attached to a closed runtime fall back
+// to inline execution.
+func (rt *Runtime) Close() {
+	rt.mu.Lock()
+	srv := rt.telemetry
+	rt.telemetry = nil
+	rt.mu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
+	rt.pool.Close()
+}
 
 // Attach binds sd to the runtime's shared pool and observability layer
 // for its next run. It returns sd for chaining.
