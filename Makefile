@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build test check race vet bench-pool bench bench-paper fuzz bench-obs serve-smoke
+.PHONY: build test check race vet bench-pool bench bench-paper fuzz bench-obs serve-smoke chaos
 
 build:
 	$(GO) build ./...
@@ -15,9 +15,10 @@ build:
 test: build
 	$(GO) test ./...
 
-# The full local gate: tier-1 tests, the static-analysis suite, and the
-# telemetry-server smoke (boot, curl every endpoint, assert statuses).
-check: test vet serve-smoke
+# The full local gate: tier-1 tests, the static-analysis suite, the
+# telemetry-server smoke (boot, curl every endpoint, assert statuses), and
+# the fault-injection campaign.
+check: test vet serve-smoke chaos
 
 race:
 	$(GO) test -race ./...
@@ -48,6 +49,14 @@ bench-paper:
 # Boot a telemetry-serving run and curl every endpoint.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# Chaos: the seeded fault-injection campaign (internal/fault) against the
+# §3.1 output guarantee — aux panics, garbage speculative states, transient
+# compute panics, delays; must not crash, must preserve outputs, and the
+# failure counters must reconcile across Stats, the event log and a live
+# /metrics scrape. The pinned seed keeps the injection schedule fixed.
+chaos:
+	$(GO) run ./cmd/statsexp -exp chaos -quick -seed 51966
 
 # Fuzzing. Front end: FuzzParse checks accepted inputs round-trip through
 # a canonical re-rendering; FuzzTranslate checks translation invariants.

@@ -10,7 +10,8 @@
 //
 // Experiments: fig02, fig03, table1, fig12, fig13, fig14, fig15, fig16,
 // fig17, fig18, fig19, fig20, scrape (live-telemetry self-scrape
-// reconciliation), ablation.
+// reconciliation), chaos (seeded fault injection vs the §3.1 output
+// guarantee), ablation.
 package main
 
 import (
@@ -68,6 +69,13 @@ func main() {
 			}
 			return render(t)
 		},
+		"chaos": func() error {
+			t, err := harness.ChaosTable(e)
+			if err != nil {
+				return err
+			}
+			return render(t)
+		},
 		"ablation": func() error {
 			for _, w := range e.Targets() {
 				for _, dim := range []harness.AblationDim{
@@ -88,7 +96,8 @@ func main() {
 		},
 	}
 	order := []string{"fig02", "fig03", "table1", "fig12", "fig13", "fig14",
-		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "scrape", "ablation"}
+		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "scrape", "chaos",
+		"ablation"}
 
 	ids := []string{*exp}
 	if *exp == "all" {

@@ -114,6 +114,9 @@ func accumulate(agg *Stats, st Stats) {
 	agg.UsefulInvocations += st.UsefulInvocations
 	agg.AuxCalls += st.AuxCalls
 	agg.AuxInputs += st.AuxInputs
+	agg.PanickedGroups += st.PanickedGroups
+	agg.TimedOutGroups += st.TimedOutGroups
+	agg.BreakerDenied += st.BreakerDenied
 	agg.Steals += st.Steals
 	agg.LocalHits += st.LocalHits
 	if st.QueueDepthPeak > agg.QueueDepthPeak {

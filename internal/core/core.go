@@ -20,6 +20,8 @@
 package core
 
 import (
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -84,6 +86,18 @@ type Options struct {
 	// state production, validation match/mismatch, redo, abort, squash,
 	// fallback). A nil Obs costs one branch per decision point.
 	Obs *obs.Observer
+	// GroupTimeout bounds one speculative group execution's wall-clock
+	// time. A lane exceeding it is squashed exactly like a validation
+	// mismatch: the group and its successors abort and the inputs are
+	// reprocessed sequentially. Zero disables the deadline. Group 0 is
+	// exempt — its outputs are committed unconditionally, so squashing
+	// it would gain nothing.
+	GroupTimeout time.Duration
+	// Breaker, when non-nil, gates speculation: a run asks Allow before
+	// speculating (a refusal executes conventionally and is counted in
+	// Stats.BreakerDenied) and Records its abort/panic/timeout outcome
+	// afterwards.
+	Breaker *Breaker
 }
 
 // Stats reports what the runtime did during a run. The profiler and the
@@ -94,7 +108,10 @@ type Stats struct {
 	Groups  int // groups formed (1 means sequential)
 	Matches int // speculative states accepted
 	Redos   int // original-producer re-executions performed
-	Aborts  int // validation failures that aborted speculation
+	// Aborts counts boundary resolutions that aborted speculation:
+	// exhausted redo budgets, contained panics and group deadlines (the
+	// latter two also counted in PanickedGroups/TimedOutGroups).
+	Aborts int
 
 	// SpeculativeCommits counts inputs whose outputs were committed from
 	// a speculative (group > 0) execution.
@@ -114,6 +131,19 @@ type Stats struct {
 	// inputs they consumed.
 	AuxCalls  int
 	AuxInputs int
+
+	// PanickedGroups counts speculative groups squashed because user
+	// code panicked on their lane (compute, aux, clone, or the
+	// boundary's match/redo). The panic is contained: the group's
+	// inputs are reprocessed sequentially and the process survives.
+	PanickedGroups int
+	// TimedOutGroups counts speculative groups squashed because their
+	// lane exceeded Options.GroupTimeout.
+	TimedOutGroups int
+	// BreakerDenied is 1 when the run's speculation was suppressed by an
+	// open Options.Breaker (the run executed conventionally), else 0.
+	// It is an int so aggregation across runs counts denials.
+	BreakerDenied int
 
 	// Scheduler counters, deltas over this run of the worker pool's
 	// sharded work-stealing dispatcher (§3.4 runtime). Steals are
@@ -162,8 +192,45 @@ func (d *Dependence[I, S, O]) matchAny(spec S, originals []S) bool {
 // Run processes inputs starting from initial, returning the outputs in input
 // order, the final state, and run statistics. The initial state is not
 // mutated (it is cloned before first use).
+//
+// Fault isolation: a panic in user code on a speculative lane (a group
+// execution, auxiliary-state production, or a boundary's match/redo) is
+// contained — the affected groups are squashed and their inputs reprocessed
+// sequentially, counted in Stats.PanickedGroups. A panic on the sequential
+// or fallback path has no safe fallback left and propagates to the caller;
+// use RunChecked to receive it as an error instead.
 func (d *Dependence[I, S, O]) Run(inputs []I, initial S, opts Options) ([]O, S, Stats) {
 	return d.runAll(inputs, initial, opts, nil)
+}
+
+// PanicError is the error RunChecked and RunStreamChecked return when user
+// code panicked with no safe fallback left (on the sequential or fallback
+// path): the original panic value plus the stack captured while the panic
+// was still unwinding, so the panic site is preserved.
+type PanicError struct {
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking goroutine's stack, captured at recovery
+	// time during the unwind — it includes the panic origin's frames.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: user code panicked with no safe fallback: %v", e.Value)
+}
+
+// RunChecked is Run with sequential-path panics converted to a *PanicError
+// instead of propagating. Speculative-lane panics are contained either way
+// (see Run); RunChecked only changes how the unrecoverable ones surface.
+func (d *Dependence[I, S, O]) RunChecked(inputs []I, initial S, opts Options) (outs []O, final S, st Stats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	outs, final, st = d.runAll(inputs, initial, opts, nil)
+	return outs, final, st, nil
 }
 
 // runAll is the engine entry shared by Run and RunStream.
@@ -182,12 +249,24 @@ func (d *Dependence[I, S, O]) runAll(inputs []I, initial S, opts Options, emit E
 		g = 1
 	}
 	speculating := opts.UseAux && d.aux != nil && g < len(inputs)
+	if speculating && opts.Breaker != nil && !opts.Breaker.Allow() {
+		speculating = false
+		st.BreakerDenied = 1
+		if o := opts.Obs; o != nil {
+			o.BreakerDenied.Inc()
+			o.Tracer.Emit(obs.LaneCoord, obs.EvBreakerDenied, -1, 0)
+		}
+	}
 	if !speculating {
 		outs, final := d.runSequential(root, inputs, d.ops.Clone(initial), &st, emit, 0)
 		st.Groups = 1
 		return outs, final, st
 	}
-	return d.runSpeculative(root, inputs, initial, g, opts, &st, emit)
+	outs, final, stats := d.runSpeculative(root, inputs, initial, g, opts, &st, emit)
+	if opts.Breaker != nil {
+		opts.Breaker.Record(stats.Aborts > 0 || stats.PanickedGroups > 0 || stats.TimedOutGroups > 0)
+	}
+	return outs, final, stats
 }
 
 // runSequential is the conventional execution: one invocation after
@@ -208,15 +287,21 @@ func (d *Dependence[I, S, O]) runSequential(r *rng.Source, inputs []I, s S, st *
 	return outs, s
 }
 
-// capturedPanic wraps a panic value recovered on a pool worker.
-type capturedPanic struct{ value any }
-
 // execution is one (re-)execution of a group suffix: its outputs and final
 // state.
 type execution[S, O any] struct {
 	outputs []O
 	final   S
 }
+
+// groupFailure records why a group's speculative results are unusable.
+type groupFailure int
+
+const (
+	failNone    groupFailure = iota
+	failPanic                // user code panicked (contained)
+	failTimeout              // the lane exceeded Options.GroupTimeout
+)
 
 // groupRun holds the state of one input group during a speculative run.
 type groupRun[I, S, O any] struct {
@@ -236,6 +321,15 @@ type groupRun[I, S, O any] struct {
 
 	done    chan struct{}
 	aborted atomic.Bool // set to squash this group's in-flight work
+
+	// failure is why the group's results are unusable, with failArg the
+	// matching event argument (elapsed ns for timeouts). Written by the
+	// lane before close(done), or by the coordinator before launch (aux
+	// panic) / after <-done (match/redo panic), so every read — the
+	// boundary inspection and the post-wg.Wait sweep — is ordered after
+	// the write.
+	failure groupFailure
+	failArg int64
 }
 
 // runSpeculative implements the §3.1 execution model. Outputs stream
@@ -276,7 +370,10 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 	}
 
 	// Speculative start states: group 0 starts from the initial state;
-	// group j>0 from aux(S0, last `window` inputs before the group).
+	// group j>0 from aux(S0, last `window` inputs before the group). A
+	// panic in the auxiliary code (or the state clone feeding it) marks
+	// the group failed before launch: its lane bails immediately and the
+	// boundary inspection below turns the failure into an abort.
 	o := opts.Obs
 	groups[0].specStart = d.ops.Clone(initial)
 	for j := 1; j < numGroups; j++ {
@@ -285,9 +382,15 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 			lo = 0
 		}
 		recent := inputs[lo:groups[j].start]
-		groups[j].specStart = d.aux(specSrcs[j], d.ops.Clone(initial), recent)
 		st.AuxCalls++
 		st.AuxInputs += len(recent)
+		spec, ok := d.safeAux(specSrcs[j], initial, recent)
+		if !ok {
+			groups[j].failure = failPanic
+			groups[j].aborted.Store(true)
+			continue
+		}
+		groups[j].specStart = spec
 		if o != nil {
 			o.AuxProduced.Inc()
 			o.Tracer.Emit(j, obs.EvAuxProduced, int32(j), int64(len(recent)))
@@ -312,10 +415,6 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 	sched := p.Metrics() // baseline for this run's scheduler deltas
 	var invocations atomic.Int64
 	var wg sync.WaitGroup
-	// A panic in user code on a pool worker would kill the process;
-	// capture the first one and re-raise it on the coordinating
-	// goroutine so callers can recover it like any synchronous panic.
-	var panicked atomic.Value
 	tasks := make([]pool.Task, numGroups)
 	for j := 0; j < numGroups; j++ {
 		j := j
@@ -324,16 +423,20 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 		tasks[j] = func() {
 			defer wg.Done()
 			defer close(gr.done)
+			// Panic isolation: a panic in user code on this lane marks
+			// the group failed and squashes it together with its
+			// successors — their results would be discarded anyway once
+			// the boundary inspection aborts here. Earlier groups are
+			// left running; their results are still committable.
 			defer func() {
 				if r := recover(); r != nil {
-					panicked.CompareAndSwap(nil, capturedPanic{value: r})
-					// Squash everything; the run is aborted.
-					for _, g := range groups {
+					gr.failure = failPanic
+					for _, g := range groups[j:] {
 						g.aborted.Store(true)
 					}
 				}
 			}()
-			d.executeGroup(execSrcs[j], inputs, gr, opts.Rollback, &invocations, o)
+			d.executeGroup(execSrcs[j], inputs, gr, opts.Rollback, opts.GroupTimeout, &invocations, o)
 		}
 	}
 	// Fan the whole group set out in one batch operation; a closed pool
@@ -344,31 +447,57 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 			task()
 		}
 	}
-	rethrow := func() {
-		if pv := panicked.Load(); pv != nil {
-			panic(pv.(capturedPanic).value)
+
+	// Validate in input order. Group 0 is never speculative. For each
+	// subsequent group, first check the group's own execution survived
+	// (no contained panic, no deadline squash), then gather originals
+	// from the previous group (first execution plus up to redoMax
+	// re-executions) and ask the developer's acceptance method whether
+	// the speculative start state matches.
+	outs := make([]O, 0, n)
+	// committed holds, per validated group, the execution whose outputs
+	// are committed.
+	committed := make([]execution[S, O], numGroups)
+
+	abortAt := -1 // first group index whose speculation failed
+	// abort squashes groups j.. and records the boundary outcome.
+	abort := func(j, redosUsed int) {
+		st.Aborts++
+		if o != nil {
+			o.Aborts.Inc()
+			o.Tracer.Emit(obs.LaneCoord, obs.EvAbort, int32(j), int64(redosUsed))
+		}
+		abortAt = j
+		for k := j; k < numGroups; k++ {
+			groups[k].aborted.Store(true)
+			if o != nil {
+				o.Squashes.Inc()
+				o.Tracer.Emit(obs.LaneCoord, obs.EvSquash, int32(k), int64(groups[k].end-groups[k].start))
+			}
 		}
 	}
 
-	// Validate in input order. Group 0 is never speculative. For each
-	// subsequent group, gather originals from the previous group (first
-	// execution plus up to redoMax re-executions) and ask the developer's
-	// acceptance method whether the speculative start state matches.
-	outs := make([]O, 0, n)
-	validPrev := groups[0]
-	<-validPrev.done
-	rethrow()
-	// accepted holds, per validated group, the execution whose outputs
-	// are committed.
-	committed := make([]execution[S, O], numGroups)
-	committed[0] = validPrev.base
+	first := groups[0]
+	<-first.done
+	if first.failure != failNone {
+		// Group 0 ran from the true initial state but its lane failed;
+		// nothing is committed and the whole vector falls back.
+		abort(0, 0)
+	} else {
+		committed[0] = first.base
+	}
 
-	abortAt := -1 // first group index whose speculation failed
-	for j := 1; j < numGroups; j++ {
+	for j := 1; j < numGroups && abortAt < 0; j++ {
 		prev := groups[j-1]
 		cur := groups[j]
 		<-cur.done
-		rethrow()
+
+		if cur.failure != failNone {
+			// The group's own results are unusable (contained panic or
+			// deadline): squash it like a mismatch with no redo budget.
+			abort(j, 0)
+			break
+		}
 
 		// The previous group's final state depends on which of its
 		// executions was committed; re-executions below replace only
@@ -379,7 +508,12 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 			vstart = time.Now()
 		}
 		originals := []S{committed[j-1].final}
-		matched := d.matchAny(cur.specStart, originals)
+		matched, ok := d.safeMatchAny(cur.specStart, originals)
+		if !ok {
+			cur.failure = failPanic
+			abort(j, 0)
+			break
+		}
 		acceptedExec := committed[j-1]
 		if o != nil && !matched {
 			o.Mismatches.Inc()
@@ -387,21 +521,39 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 		}
 
 		redosUsed := 0
+		panicked := false
 		for t := 0; !matched && t < redoMax; t++ {
 			if o != nil {
 				o.Redos.Inc()
 				o.Tracer.Emit(obs.LaneCoord, obs.EvRedo, int32(j), int64(t+1))
 			}
-			redo := d.redoGroup(prev, inputs, &invocations)
+			redo, rok := d.safeRedoGroup(prev, inputs, &invocations)
+			if !rok {
+				// The re-execution (prev's compute or clone) panicked:
+				// the boundary cannot resolve, so the unvalidated
+				// group is squashed and the panic attributed to it.
+				panicked = true
+				break
+			}
 			st.Redos++
 			redosUsed++
 			originals = append(originals, redo.final)
-			if d.matchAny(cur.specStart, originals) {
+			m, mok := d.safeMatchAny(cur.specStart, originals)
+			if !mok {
+				panicked = true
+				break
+			}
+			if m {
 				matched = true
 				// Commit the matching re-execution's suffix in
 				// place of the first execution's.
 				acceptedExec = spliceExecution(committed[j-1], redo, prev)
 			}
+		}
+		if panicked {
+			cur.failure = failPanic
+			abort(j, redosUsed)
+			break
 		}
 
 		if matched {
@@ -419,20 +571,10 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 		}
 
 		// Speculation failed: abort this and all subsequent groups.
-		st.Aborts++
+		abort(j, redosUsed)
 		if o != nil {
-			o.Aborts.Inc()
-			o.Tracer.Emit(obs.LaneCoord, obs.EvAbort, int32(j), int64(redosUsed))
 			o.ValidationLatencyNS.Observe(time.Since(vstart).Nanoseconds())
 			o.RedosPerValidation.Observe(int64(redosUsed))
-		}
-		abortAt = j
-		for k := j; k < numGroups; k++ {
-			groups[k].aborted.Store(true)
-			if o != nil {
-				o.Squashes.Inc()
-				o.Tracer.Emit(obs.LaneCoord, obs.EvSquash, int32(k), int64(groups[k].end-groups[k].start))
-			}
 		}
 		break
 	}
@@ -440,7 +582,6 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 	if abortAt < 0 {
 		// Every group validated; commit in order.
 		wg.Wait()
-		rethrow()
 		for j := 0; j < numGroups; j++ {
 			outs = append(outs, committed[j].outputs...)
 			if j > 0 {
@@ -460,10 +601,30 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 	// Abort path: wait out in-flight groups (they bail early on the
 	// aborted flag), squash their outputs, and reprocess the remaining
 	// inputs sequentially from the first original final state of the
-	// last valid group. Per §3.1, "no other speculation is performed
-	// until all the current inputs are processed."
+	// last valid group (the uncloned initial state when group 0 itself
+	// failed). Per §3.1, "no other speculation is performed until all
+	// the current inputs are processed."
 	wg.Wait()
-	rethrow()
+	// Failure sweep: every lane is done, so the flags are final. Count
+	// and trace each contained panic and deadline squash — groups past
+	// the abort point may have failed concurrently before the squash
+	// reached them, and those panics were contained too.
+	for _, gr := range groups {
+		switch gr.failure {
+		case failPanic:
+			st.PanickedGroups++
+			if o != nil {
+				o.PanickedGroups.Inc()
+				o.Tracer.Emit(obs.LaneCoord, obs.EvPanic, int32(gr.idx), int64(gr.end-gr.start))
+			}
+		case failTimeout:
+			st.TimedOutGroups++
+			if o != nil {
+				o.GroupTimeouts.Inc()
+				o.Tracer.Emit(obs.LaneCoord, obs.EvGroupTimeout, int32(gr.idx), gr.failArg)
+			}
+		}
+	}
 	for j := 0; j < abortAt; j++ {
 		outs = append(outs, committed[j].outputs...)
 		if j > 0 {
@@ -473,7 +634,11 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 			}
 		}
 	}
-	emitExec(emit, committed[abortAt-1], groups[abortAt-1].start)
+	fallbackState := d.ops.Clone(initial)
+	if abortAt > 0 {
+		emitExec(emit, committed[abortAt-1], groups[abortAt-1].start)
+		fallbackState = committed[abortAt-1].final
+	}
 	st.SquashedInputs = n - groups[abortAt].start
 	st.Invocations += invocations.Load()
 
@@ -483,11 +648,44 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 		o.FallbackInputs.Add(int64(n - fallbackStart))
 		o.Tracer.Emit(obs.LaneCoord, obs.EvFallback, int32(abortAt), int64(n-fallbackStart))
 	}
-	fbOuts, final := d.runSequential(root, inputs[fallbackStart:], committed[abortAt-1].final, st, emit, fallbackStart)
+	fbOuts, final := d.runSequential(root, inputs[fallbackStart:], fallbackState, st, emit, fallbackStart)
 	outs = append(outs, fbOuts...)
 	st.UsefulInvocations += int64(fallbackStart)
 	captureScheduler(st, p, sched)
 	return outs, final, *st
+}
+
+// safeAux runs the auxiliary code (including the initial-state clone that
+// feeds it) with panic containment, reporting whether it completed.
+func (d *Dependence[I, S, O]) safeAux(r *rng.Source, initial S, recent []I) (spec S, ok bool) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			ok = false
+		}
+	}()
+	return d.aux(r, d.ops.Clone(initial), recent), true
+}
+
+// safeMatchAny runs the developer's acceptance method with panic
+// containment, reporting whether it completed.
+func (d *Dependence[I, S, O]) safeMatchAny(spec S, originals []S) (matched, ok bool) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			matched, ok = false, false
+		}
+	}()
+	return d.matchAny(spec, originals), true
+}
+
+// safeRedoGroup runs one re-execution with panic containment, reporting
+// whether it completed.
+func (d *Dependence[I, S, O]) safeRedoGroup(gr *groupRun[I, S, O], inputs []I, invocations *atomic.Int64) (redo execution[S, O], ok bool) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			ok = false
+		}
+	}()
+	return d.redoGroup(gr, inputs, invocations), true
 }
 
 // captureScheduler fills the run's scheduler counters as deltas against the
@@ -512,9 +710,11 @@ func emitExec[S, O any](emit Emit[O], exec execution[S, O], base int) {
 // executeGroup runs one group's inputs sequentially from its start state,
 // recording the checkpoint needed for re-executions. If the group is
 // aborted mid-flight it bails out early; its results are then never read.
-// Group start/finish events go to ob (nil-checked) so the observed
-// schedule shows every group's execution span, squashed or not.
-func (d *Dependence[I, S, O]) executeGroup(r *rng.Source, inputs []I, gr *groupRun[I, S, O], rollback int, invocations *atomic.Int64, ob *obs.Observer) {
+// A positive timeout bounds the group's wall-clock execution (group 0 is
+// exempt: its outputs commit unconditionally, so squashing it gains
+// nothing). Group start/finish events go to ob (nil-checked) so the
+// observed schedule shows every group's execution span, squashed or not.
+func (d *Dependence[I, S, O]) executeGroup(r *rng.Source, inputs []I, gr *groupRun[I, S, O], rollback int, timeout time.Duration, invocations *atomic.Int64, ob *obs.Observer) {
 	length := gr.end - gr.start
 	w := rollback
 	if w < 1 {
@@ -525,6 +725,11 @@ func (d *Dependence[I, S, O]) executeGroup(r *rng.Source, inputs []I, gr *groupR
 	}
 	checkpointAt := gr.end - w
 
+	deadlined := timeout > 0 && gr.idx > 0
+	var started time.Time
+	if deadlined {
+		started = time.Now()
+	}
 	if ob != nil {
 		ob.GroupsStarted.Inc()
 		ob.Tracer.Emit(gr.idx, obs.EvGroupStart, int32(gr.idx), int64(gr.start))
@@ -536,6 +741,17 @@ func (d *Dependence[I, S, O]) executeGroup(r *rng.Source, inputs []I, gr *groupR
 		if gr.aborted.Load() {
 			// Squashed: record what we have; it will be discarded.
 			break
+		}
+		if deadlined {
+			if elapsed := time.Since(started); elapsed > timeout {
+				// Deadline exceeded: squash exactly like a validation
+				// mismatch. Only this lane is marked; the coordinator's
+				// boundary inspection squashes the successors.
+				gr.failure = failTimeout
+				gr.failArg = elapsed.Nanoseconds()
+				gr.aborted.Store(true)
+				break
+			}
 		}
 		if idx == checkpointAt {
 			gr.checkpoint = d.ops.Clone(s)

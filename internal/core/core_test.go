@@ -493,8 +493,11 @@ func TestUnevenLastGroup(t *testing.T) {
 }
 
 func TestComputePanicPropagates(t *testing.T) {
-	// A panic in user code on a worker goroutine must surface on the
-	// calling goroutine (recoverable), not kill the process.
+	// A deterministic panic (one that fires every time its input is
+	// computed) is first contained on the speculative lane, but the
+	// sequential fallback re-executes the same input and panics again —
+	// with no safe fallback left it must surface on the calling goroutine
+	// (recoverable), not kill the process.
 	inputs := seqInputs(12)
 	compute := func(r *rng.Source, in int, s walkState) (int, walkState) {
 		if in == 7 {

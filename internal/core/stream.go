@@ -1,5 +1,7 @@
 package core
 
+import "runtime/debug"
+
 // Streaming commit: outputs are delivered, in input order, the moment they
 // stop being speculative (§3.1: "When these checks succeed, the additional
 // TLP generated can be safely used") instead of materializing only when
@@ -18,4 +20,18 @@ type Emit[O any] func(index int, output O)
 // emit as soon as it commits. The returned values are identical to Run's.
 func (d *Dependence[I, S, O]) RunStream(inputs []I, initial S, opts Options, emit Emit[O]) ([]O, S, Stats) {
 	return d.runAll(inputs, initial, opts, emit)
+}
+
+// RunStreamChecked is RunStream with sequential-path panics (including any
+// raised inside emit) converted to a *PanicError instead of propagating,
+// mirroring RunChecked. Outputs emitted before the panic stand; the
+// returned slices reflect only work that committed.
+func (d *Dependence[I, S, O]) RunStreamChecked(inputs []I, initial S, opts Options, emit Emit[O]) (outs []O, final S, st Stats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	outs, final, st = d.runAll(inputs, initial, opts, emit)
+	return outs, final, st, nil
 }

@@ -1,0 +1,165 @@
+package fault
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDecideDeterministicAcrossInjectors(t *testing.T) {
+	a := New(Config{Seed: 42, AuxPanicRate: 0.3})
+	b := New(Config{Seed: 42, AuxPanicRate: 0.3})
+	for i := 0; i < 500; i++ {
+		_, fa := a.decide(SiteAux, 0.3)
+		_, fb := b.decide(SiteAux, 0.3)
+		if fa != fb {
+			t.Fatalf("call %d: injectors with equal seeds disagree", i)
+		}
+	}
+	if a.Fired(SiteAux) == 0 {
+		t.Fatal("rate 0.3 over 500 calls never fired")
+	}
+}
+
+func TestDecideSeedChangesDecisions(t *testing.T) {
+	a := New(Config{Seed: 1})
+	b := New(Config{Seed: 2})
+	same := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		_, fa := a.decide(SiteAux, 0.5)
+		_, fb := b.decide(SiteAux, 0.5)
+		if fa == fb {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("distinct seeds produced identical decision streams")
+	}
+}
+
+func TestDecideRateApproximatesConfig(t *testing.T) {
+	in := New(Config{Seed: 7})
+	const n = 20000
+	for i := 0; i < n; i++ {
+		in.decide(SiteGarbage, 0.1)
+	}
+	got := float64(in.Fired(SiteGarbage)) / n
+	if math.Abs(got-0.1) > 0.02 {
+		t.Fatalf("empirical rate %.4f, want ~0.10", got)
+	}
+	if c := in.Counts()[SiteGarbage]; c[0] != n {
+		t.Fatalf("calls counted %d, want %d", c[0], n)
+	}
+}
+
+func TestDecideZeroAndFullRates(t *testing.T) {
+	in := New(Config{Seed: 3})
+	for i := 0; i < 100; i++ {
+		if _, fire := in.decide(SiteAux, 0); fire {
+			t.Fatal("rate 0 fired")
+		}
+		if _, fire := in.decide(SiteDelay, 1); !fire {
+			t.Fatal("rate 1 did not fire")
+		}
+	}
+}
+
+func TestWrapAuxPanicsAndGarbage(t *testing.T) {
+	in := New(Config{Seed: 11, AuxPanicRate: 0.5, GarbageRate: 0.5})
+	aux := WrapAux(in, func(r struct{}, init int, recent []int) int {
+		return init + len(recent)
+	}, func(int) int { return -1 })
+	panics, garbage, clean := 0, 0, 0
+	for i := 0; i < 200; i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					ip, ok := r.(InjectedPanic)
+					if !ok || ip.Site != SiteAux {
+						t.Errorf("panic value %v, want InjectedPanic{SiteAux}", r)
+					}
+					panics++
+				}
+			}()
+			switch aux(struct{}{}, 5, []int{1, 2}) {
+			case -1:
+				garbage++
+			case 7:
+				clean++
+			default:
+				t.Error("aux produced an unexpected value")
+			}
+		}()
+	}
+	if panics == 0 || garbage == 0 || clean == 0 {
+		t.Fatalf("panics=%d garbage=%d clean=%d; want all three exercised", panics, garbage, clean)
+	}
+	if got := in.Fired(SiteAux); uint64(panics) != got {
+		t.Fatalf("panics=%d but Fired(SiteAux)=%d", panics, got)
+	}
+}
+
+func TestWrapComputeOnceFiresAtMostOnce(t *testing.T) {
+	in := New(Config{Seed: 13, ComputePanicRate: 1}) // every input selected
+	compute := WrapComputeOnce(in, func(r struct{}, input int, s int) (int, int) {
+		return input * 2, s + input
+	}, func(i int) uint64 { return uint64(i) })
+
+	var mu sync.Mutex
+	panics := 0
+	call := func(input int) {
+		defer func() {
+			if r := recover(); r != nil {
+				if ip, ok := r.(InjectedPanic); !ok || ip.Site != SiteCompute {
+					t.Errorf("panic value %v, want InjectedPanic{SiteCompute}", r)
+				}
+				mu.Lock()
+				panics++
+				mu.Unlock()
+			}
+		}()
+		compute(struct{}{}, input, 0)
+	}
+	// Concurrent first wave: even with every input selected, exactly one
+	// panic total (per-wrapper once).
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); call(i) }(i)
+	}
+	wg.Wait()
+	// Replays of every input: no further panics (per-input once).
+	for i := 0; i < 32; i++ {
+		call(i)
+	}
+	if panics != 1 {
+		t.Fatalf("panics = %d, want exactly 1", panics)
+	}
+	if in.Fired(SiteCompute) != 1 {
+		t.Fatalf("Fired(SiteCompute) = %d, want 1", in.Fired(SiteCompute))
+	}
+}
+
+func TestWrapComputeDelay(t *testing.T) {
+	in := New(Config{Seed: 17, DelayRate: 1, Delay: 2 * time.Millisecond})
+	compute := WrapCompute(in, func(r struct{}, input int, s int) (int, int) {
+		return input, s
+	})
+	start := time.Now()
+	compute(struct{}{}, 1, 0)
+	if time.Since(start) < 2*time.Millisecond {
+		t.Fatal("delay injection did not stall the call")
+	}
+	if in.Fired(SiteDelay) != 1 {
+		t.Fatalf("Fired(SiteDelay) = %d", in.Fired(SiteDelay))
+	}
+}
+
+func TestInjectedPanicError(t *testing.T) {
+	var err error = InjectedPanic{Site: SiteAux, Call: 3}
+	if err.Error() != "fault: injected aux-panic at call 3" {
+		t.Fatalf("Error() = %q", err.Error())
+	}
+}

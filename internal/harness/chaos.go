@@ -1,0 +1,301 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/telemetry"
+)
+
+// The chaos experiment turns the paper's correctness claim (§3.1: a failed
+// speculation never changes the program's output) adversarial. A seeded
+// fault injector (internal/fault) manufactures failures the validation
+// layer was never told about — auxiliary code that panics, speculative
+// states that are garbage, compute lanes that die or stall — and each
+// scenario checks three things: the process never crashes, the outputs are
+// identical to an uninjected sequential baseline, and the failure
+// accounting reconciles exactly across the engine's Stats, the observer's
+// event log, and a live /metrics scrape of a telemetry server running over
+// the same runs.
+
+// chaosState is the synthetic dependence's state: an exact prefix sum, so
+// the auxiliary code can be made exact and every corruption is detectable.
+type chaosState struct{ Sum float64 }
+
+// chaosOps supplies clone and exact-match acceptance for chaosState.
+func chaosOps() core.StateOps[chaosState] {
+	return core.StateOps[chaosState]{
+		Clone: func(s chaosState) chaosState { return s },
+		MatchAny: func(spec chaosState, originals []chaosState) bool {
+			for _, o := range originals {
+				if spec.Sum == o.Sum {
+					return true
+				}
+			}
+			return false
+		},
+	}
+}
+
+// chaosCompute is deterministic and state-coupled: the output embeds the
+// running sum, so a wrong state chain corrupts outputs detectably.
+func chaosCompute(_ *rng.Source, in int, s chaosState) (int, chaosState) {
+	s.Sum += float64(in)
+	return in*2 + int(s.Sum), s
+}
+
+// chaosAux is exact when the engine's window covers the whole prefix
+// (the scenarios set Window = len(inputs)): initial state plus the sum of
+// everything before the group is the true state.
+func chaosAux(_ *rng.Source, init chaosState, recent []int) chaosState {
+	for _, v := range recent {
+		init.Sum += float64(v)
+	}
+	return init
+}
+
+// chaosGarbage corrupts a speculative state so no original can match it.
+func chaosGarbage(s chaosState) chaosState {
+	return chaosState{Sum: s.Sum - 1e12}
+}
+
+// ChaosScenario is one injection campaign.
+type ChaosScenario struct {
+	// Name labels the scenario's table row.
+	Name string
+	// Cfg is the injector configuration (rates are per call site).
+	Cfg fault.Config
+	// ComputeOnce arms transient compute panics (fault.WrapComputeOnce,
+	// one fresh wrapper per engine run).
+	ComputeOnce bool
+	// GroupTimeout is passed to the engine (0 disables deadlines).
+	GroupTimeout time.Duration
+	// Breaker attaches a fresh circuit breaker across the scenario's runs.
+	Breaker bool
+	// Runs is how many engine runs the scenario performs over the same
+	// input block (chunked, so the breaker sees a run sequence).
+	Runs int
+}
+
+// ChaosResult is one scenario's outcome.
+type ChaosResult struct {
+	Name string
+	Runs int
+	// Injected faults, per site, as counted by the injector.
+	AuxPanics, Garbage, ComputePanics, Delays uint64
+	// Engine accounting summed over the runs.
+	PanickedGroups, TimedOutGroups, Aborts, BreakerDenied int
+	// BreakerTrips is the breaker's lifetime trip count (0 without one).
+	BreakerTrips int64
+	// EventPanics and EventTimeouts are the event-log totals (EvPanic /
+	// EvGroupTimeout occurrences in the tracer).
+	EventPanics, EventTimeouts int64
+	// MidScrapes counts /metrics expositions parsed between runs.
+	MidScrapes int
+	// OutputsIdentical is true when every run's outputs and final state
+	// equal the uninjected sequential baseline's.
+	OutputsIdentical bool
+	// Reconciled is true when Stats, the event log and the final scrape
+	// agree on the failure counters.
+	Reconciled bool
+}
+
+// chaosScenarios returns the standard campaign. The acceptance bar is the
+// 10% aux-panic and garbage scenarios; the others cross the remaining
+// fault sites with the runtime's defenses (deadlines, the breaker).
+func chaosScenarios(seed uint64) []ChaosScenario {
+	return []ChaosScenario{
+		{Name: "aux-panic 10%", Cfg: fault.Config{Seed: seed, AuxPanicRate: 0.10}, Runs: 3},
+		{Name: "garbage 10%", Cfg: fault.Config{Seed: seed + 1, GarbageRate: 0.10}, Runs: 3},
+		{Name: "aux+garbage 10%", Cfg: fault.Config{Seed: seed + 2, AuxPanicRate: 0.10, GarbageRate: 0.10}, Runs: 3},
+		{Name: "compute transient", Cfg: fault.Config{Seed: seed + 3, ComputePanicRate: 0.25}, ComputeOnce: true, Runs: 3},
+		{Name: "mixed + breaker", Cfg: fault.Config{Seed: seed + 4, AuxPanicRate: 0.3, GarbageRate: 0.3}, Breaker: true, Runs: 8},
+		{Name: "delay + deadline", Cfg: fault.Config{Seed: seed + 5, DelayRate: 0.3, Delay: 3 * time.Millisecond}, GroupTimeout: time.Millisecond, Runs: 2},
+	}
+}
+
+// ChaosRun executes the chaos campaign and returns per-scenario results.
+// Any crash, output divergence or reconciliation failure is reported in
+// the result row; injector or infrastructure errors abort the experiment.
+func ChaosRun(e *Env) ([]ChaosResult, error) {
+	const (
+		n         = 256
+		workers   = 4
+		groupSize = 8
+	)
+	inputs := make([]int, n)
+	for i := range inputs {
+		inputs[i] = i + 1
+	}
+	dep := core.New(chaosCompute, chaosAux, chaosOps())
+	// The uninjected sequential baseline: the output contract every
+	// injected run must reproduce byte for byte.
+	baseOuts, baseFinal, _ := dep.Run(inputs, chaosState{}, core.Options{})
+
+	var out []ChaosResult
+	for _, sc := range chaosScenarios(e.Seed) {
+		r, err := chaosScenarioRun(sc, inputs, baseOuts, baseFinal, workers, groupSize)
+		if err != nil {
+			return nil, fmt.Errorf("chaos %s: %w", sc.Name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// chaosScenarioRun executes one scenario under a live telemetry server.
+func chaosScenarioRun(sc ChaosScenario, inputs []int, baseOuts []int, baseFinal chaosState, workers, groupSize int) (ChaosResult, error) {
+	in := fault.New(sc.Cfg)
+	ob := obs.NewObserver(workers+1, 1<<14)
+
+	var b *core.Breaker
+	if sc.Breaker {
+		// Long window and cooldown: once tripped the breaker stays open
+		// for the rest of the scenario, so the denial count is exact.
+		b = core.NewBreaker(core.BreakerConfig{
+			Window: time.Hour, MinRuns: 4, TripRate: 0.5, Cooldown: time.Hour,
+		})
+	}
+	srv := telemetry.NewServer(telemetry.Config{Observer: ob, Breaker: b})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return ChaosResult{}, err
+	}
+	defer srv.Close()
+
+	aux := fault.WrapAux(in, chaosAux, chaosGarbage)
+	res := ChaosResult{Name: sc.Name, Runs: sc.Runs, OutputsIdentical: true}
+	for run := 0; run < sc.Runs; run++ {
+		compute := core.Compute[int, chaosState, int](chaosCompute)
+		if sc.ComputeOnce {
+			// One fresh wrapper per run: at most one transient compute
+			// fault per run, guaranteed to land on a containable lane.
+			compute = fault.WrapComputeOnce(in, chaosCompute,
+				func(i int) uint64 { return uint64(i) })
+		} else if sc.Cfg.DelayRate > 0 {
+			compute = fault.WrapCompute(in, chaosCompute)
+		}
+		dep := core.New(compute, aux, chaosOps())
+		outs, final, st, err := dep.RunChecked(inputs, chaosState{}, core.Options{
+			UseAux: true, GroupSize: groupSize, Window: len(inputs),
+			RedoMax: 1, Rollback: 4, Workers: workers,
+			Seed: sc.Cfg.Seed + uint64(run),
+			Obs:  ob, GroupTimeout: sc.GroupTimeout, Breaker: b,
+		})
+		if err != nil {
+			// The no-crash guarantee failed: a fault escaped containment.
+			return res, fmt.Errorf("run %d escaped containment: %w", run, err)
+		}
+		if final != baseFinal || !equalInts(outs, baseOuts) {
+			res.OutputsIdentical = false
+		}
+		res.PanickedGroups += st.PanickedGroups
+		res.TimedOutGroups += st.TimedOutGroups
+		res.Aborts += st.Aborts
+		res.BreakerDenied += st.BreakerDenied
+
+		// A live scrape between runs: every exposition must parse and
+		// satisfy the registry's structural invariants.
+		if _, err := scrapeOnce(srv.URL()); err != nil {
+			return res, fmt.Errorf("mid-run scrape: %w", err)
+		}
+		res.MidScrapes++
+	}
+
+	res.AuxPanics = in.Fired(fault.SiteAux)
+	res.Garbage = in.Fired(fault.SiteGarbage)
+	res.ComputePanics = in.Fired(fault.SiteCompute)
+	res.Delays = in.Fired(fault.SiteDelay)
+	if b != nil {
+		res.BreakerTrips = b.Snapshot().Trips
+	}
+	for _, ev := range ob.Tracer.Snapshot() {
+		switch ev.Kind {
+		case obs.EvPanic:
+			res.EventPanics++
+		case obs.EvGroupTimeout:
+			res.EventTimeouts++
+		}
+	}
+
+	final, err := scrapeOnce(srv.URL())
+	if err != nil {
+		return res, fmt.Errorf("final scrape: %w", err)
+	}
+	res.Reconciled = chaosReconciled(res, ob, b, final)
+	return res, nil
+}
+
+// chaosReconciled checks the three-way failure accounting: engine Stats
+// sums, observer instruments, the event log (when no events were dropped)
+// and the final /metrics exposition must agree exactly.
+func chaosReconciled(r ChaosResult, ob *obs.Observer, b *core.Breaker, m *telemetry.PromMetrics) bool {
+	v := func(name string) int64 {
+		f, _ := m.Value(name)
+		return int64(f)
+	}
+	ok := int64(r.PanickedGroups) == ob.PanickedGroups.Value() &&
+		int64(r.PanickedGroups) == v("stats_panicked_groups_total") &&
+		int64(r.TimedOutGroups) == ob.GroupTimeouts.Value() &&
+		int64(r.TimedOutGroups) == v("stats_group_timeouts_total") &&
+		int64(r.Aborts) == ob.Aborts.Value() &&
+		int64(r.Aborts) == v("stats_aborts_total")
+	if ob.Tracer.Dropped() == 0 {
+		ok = ok && r.EventPanics == int64(r.PanickedGroups) &&
+			r.EventTimeouts == int64(r.TimedOutGroups)
+	}
+	if b != nil {
+		snap := b.Snapshot()
+		ok = ok && r.BreakerTrips == v("breaker_trips_total") &&
+			int64(r.BreakerDenied) == snap.Denied &&
+			int64(r.BreakerDenied) == v("breaker_denied_runs_total")
+	}
+	return ok
+}
+
+// equalInts compares two output slices element-wise.
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ChaosTable renders the chaos campaign as an experiment table.
+func ChaosTable(e *Env) (*Table, error) {
+	res, err := ChaosRun(e)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: "Chaos — injected faults vs the §3.1 output guarantee",
+		Columns: []string{
+			"runs", "injected", "panicked", "timed out", "aborts",
+			"denied", "trips", "output ok", "reconciled",
+		},
+	}
+	for _, r := range res {
+		injected := fmt.Sprintf("%d", r.AuxPanics+r.Garbage+r.ComputePanics+r.Delays)
+		t.AddRow(r.Name,
+			fmt.Sprintf("%d", r.Runs),
+			injected,
+			fmt.Sprintf("%d", r.PanickedGroups),
+			fmt.Sprintf("%d", r.TimedOutGroups),
+			fmt.Sprintf("%d", r.Aborts),
+			fmt.Sprintf("%d", r.BreakerDenied),
+			fmt.Sprintf("%d", r.BreakerTrips),
+			fmt.Sprintf("%v", r.OutputsIdentical),
+			fmt.Sprintf("%v", r.Reconciled),
+		)
+	}
+	t.AddNote("each scenario injects seeded faults (aux panics, garbage speculative states, transient compute panics, delays) into a deterministic prefix-sum dependence and requires: no crash, outputs byte-identical to the uninjected sequential baseline, and failure counters reconciling across engine Stats, the event log, and a live /metrics scrape")
+	return t, nil
+}

@@ -1,0 +1,67 @@
+package harness
+
+import "testing"
+
+// TestChaosCampaign is the acceptance test for fault-tolerant speculation:
+// every scenario must complete without a crash, preserve the sequential
+// baseline's outputs exactly, and reconcile its failure accounting across
+// engine Stats, the event log and the live /metrics scrape.
+func TestChaosCampaign(t *testing.T) {
+	e := NewEnv(true)
+	res, err := ChaosRun(e)
+	if err != nil {
+		t.Fatalf("chaos campaign: %v", err)
+	}
+	if len(res) < 6 {
+		t.Fatalf("scenarios run: %d", len(res))
+	}
+	byName := map[string]ChaosResult{}
+	for _, r := range res {
+		byName[r.Name] = r
+		if !r.OutputsIdentical {
+			t.Errorf("%s: outputs diverged from the sequential baseline", r.Name)
+		}
+		if !r.Reconciled {
+			t.Errorf("%s: failure counters did not reconcile (stats/events/scrape)", r.Name)
+		}
+		if r.MidScrapes != r.Runs {
+			t.Errorf("%s: %d mid-run scrapes for %d runs", r.Name, r.MidScrapes, r.Runs)
+		}
+	}
+
+	if r := byName["aux-panic 10%"]; r.AuxPanics == 0 || r.PanickedGroups == 0 {
+		t.Errorf("aux-panic: injected %d, panicked groups %d; want both > 0", r.AuxPanics, r.PanickedGroups)
+	}
+	if r := byName["garbage 10%"]; r.Garbage == 0 || r.Aborts == 0 {
+		t.Errorf("garbage: injected %d, aborts %d; want both > 0", r.Garbage, r.Aborts)
+	}
+	if r := byName["compute transient"]; r.ComputePanics == 0 || r.PanickedGroups < int(r.ComputePanics) {
+		t.Errorf("compute transient: injected %d, panicked groups %d", r.ComputePanics, r.PanickedGroups)
+	}
+	if r := byName["mixed + breaker"]; r.BreakerTrips < 1 || r.BreakerDenied < 1 {
+		t.Errorf("mixed + breaker: trips %d denied %d; want breaker engaged", r.BreakerTrips, r.BreakerDenied)
+	}
+	if r := byName["delay + deadline"]; r.Delays == 0 || r.TimedOutGroups == 0 {
+		t.Errorf("delay + deadline: injected %d delays, timed-out groups %d", r.Delays, r.TimedOutGroups)
+	}
+}
+
+// TestChaosDeterministicInjection re-runs one scenario and requires the
+// coordinator-sequential sites to inject identically under equal seeds.
+func TestChaosDeterministicInjection(t *testing.T) {
+	e := NewEnv(true)
+	a, err := ChaosRun(e)
+	if err != nil {
+		t.Fatalf("first campaign: %v", err)
+	}
+	b, err := ChaosRun(e)
+	if err != nil {
+		t.Fatalf("second campaign: %v", err)
+	}
+	for i := range a {
+		if a[i].AuxPanics != b[i].AuxPanics || a[i].Garbage != b[i].Garbage {
+			t.Errorf("%s: coordinator-site injections differ across identical campaigns: %d/%d vs %d/%d",
+				a[i].Name, a[i].AuxPanics, a[i].Garbage, b[i].AuxPanics, b[i].Garbage)
+		}
+	}
+}

@@ -68,6 +68,16 @@ type Observer struct {
 	// from a speculative (group > 0) execution — the numerator of the
 	// telemetry layer's fallback-rate denominator.
 	SpecCommittedInputs *Counter
+	// PanickedGroups counts speculative groups squashed because user
+	// code panicked on their lane; the panic was contained and the
+	// group's inputs reprocessed sequentially.
+	PanickedGroups *Counter
+	// GroupTimeouts counts speculative groups squashed because their
+	// lane exceeded the configured per-group deadline.
+	GroupTimeouts *Counter
+	// BreakerDenied counts runs whose speculation was suppressed by an
+	// open circuit breaker.
+	BreakerDenied *Counter
 
 	// Steals, LocalHits and TasksDone count the scheduler's dispatches:
 	// cross-worker steals, contention-free local pops, and completed
@@ -112,6 +122,9 @@ func NewObserver(lanes, perLaneCap int) *Observer {
 		FallbackInputs: reg.Counter("stats_fallback_inputs_total"),
 		SpecCommittedInputs: reg.Counter(
 			"stats_speculative_commit_inputs_total"),
+		PanickedGroups: reg.Counter("stats_panicked_groups_total"),
+		GroupTimeouts:  reg.Counter("stats_group_timeouts_total"),
+		BreakerDenied:  reg.Counter("stats_breaker_denied_runs_total"),
 
 		Steals:    reg.Counter("sched_steals_total"),
 		LocalHits: reg.Counter("sched_local_hits_total"),
@@ -135,6 +148,9 @@ func NewObserver(lanes, perLaneCap int) *Observer {
 		"stats_squashed_groups_total":           "groups squashed by an abort",
 		"stats_fallback_inputs_total":           "inputs reprocessed sequentially after an abort",
 		"stats_speculative_commit_inputs_total": "inputs committed from a speculative (group > 0) execution",
+		"stats_panicked_groups_total":           "speculative groups squashed by a contained user-code panic",
+		"stats_group_timeouts_total":            "speculative groups squashed by the per-group deadline",
+		"stats_breaker_denied_runs_total":       "runs whose speculation was suppressed by an open circuit breaker",
 		"sched_steals_total":                    "cross-worker task dispatches (work stealing)",
 		"sched_local_hits_total":                "contention-free local-deque task dispatches",
 		"sched_tasks_done_total":                "tasks completed by the scheduler",

@@ -49,6 +49,17 @@ const (
 	EvLocalHit
 	// EvTaskFinish marks a dispatched task completing on its worker.
 	EvTaskFinish
+	// EvPanic marks a speculative group squashed because user code
+	// panicked on its lane (compute, aux, clone, or the boundary's
+	// match/redo). Arg is the number of inputs the group covers.
+	EvPanic
+	// EvGroupTimeout marks a speculative group squashed because its lane
+	// exceeded Options.GroupTimeout. Arg is the elapsed nanoseconds when
+	// the lane noticed the deadline.
+	EvGroupTimeout
+	// EvBreakerDenied marks a run whose speculation was suppressed by an
+	// open circuit breaker (the run executed sequentially).
+	EvBreakerDenied
 
 	numEventKinds // sentinel, keep last
 )
@@ -68,6 +79,9 @@ var eventKindNames = [numEventKinds]string{
 	EvSteal:            "steal",
 	EvLocalHit:         "local-hit",
 	EvTaskFinish:       "task-finish",
+	EvPanic:            "panic",
+	EvGroupTimeout:     "group-timeout",
+	EvBreakerDenied:    "breaker-denied",
 }
 
 // String returns the kind's stable exposition name.

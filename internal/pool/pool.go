@@ -156,6 +156,11 @@ type Metrics struct {
 	Steals int64
 	// LocalHits counts tasks a worker took from its own deque.
 	LocalHits int64
+	// PanickedTasks counts tasks whose panic was recovered by the worker.
+	// The worker survives and keeps dispatching; the task's submitter is
+	// responsible for noticing the lost result (internal/core marks the
+	// group failed before its panic reaches the scheduler).
+	PanickedTasks int64
 	// QueueDepthPeak is the highest single-deque depth observed over the
 	// pool's lifetime.
 	QueueDepthPeak int64
@@ -193,12 +198,13 @@ type Pool struct {
 	// so no wakeup is lost.
 	idlers atomic.Int64
 
-	submitted  atomic.Int64
-	executed   atomic.Int64
-	inlineRuns atomic.Int64
-	steals     atomic.Int64
-	localHits  atomic.Int64
-	maxDepth   atomic.Int64
+	submitted     atomic.Int64
+	executed      atomic.Int64
+	inlineRuns    atomic.Int64
+	steals        atomic.Int64
+	localHits     atomic.Int64
+	panickedTasks atomic.Int64
+	maxDepth      atomic.Int64
 
 	// obsv, when set, receives per-dispatch trace events (steal,
 	// local-hit, task-finish on the worker's lane) and queue-depth
@@ -252,6 +258,7 @@ func (p *Pool) Metrics() Metrics {
 		InlineRuns:     p.inlineRuns.Load(),
 		Steals:         p.steals.Load(),
 		LocalHits:      p.localHits.Load(),
+		PanickedTasks:  p.panickedTasks.Load(),
 		QueueDepthPeak: p.maxDepth.Load(),
 	}
 }
@@ -468,6 +475,12 @@ func (p *Pool) worker(i int) {
 // observer attached, the dispatch emits a steal/local-hit event and the
 // completion a task-finish event, all on the worker's lane — the pairs the
 // live Gantt view turns into per-worker occupancy spans.
+//
+// A panicking task must not kill its worker: an escaped panic would tear
+// down the process, and even a hypothetically survivable one would shrink
+// the pool and wedge Close behind the dead worker's deque. run recovers,
+// counts the event in Metrics.PanickedTasks, and keeps the worker in its
+// dispatch loop.
 func (p *Pool) run(i int, t Task, stolen bool) {
 	o := p.obsv.Load()
 	if stolen {
@@ -483,7 +496,14 @@ func (p *Pool) run(i int, t Task, stolen bool) {
 			o.Tracer.Emit(i, obs.EvLocalHit, -1, 0)
 		}
 	}
-	t()
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				p.panickedTasks.Add(1)
+			}
+		}()
+		t()
+	}()
 	p.executed.Add(1)
 	if o != nil {
 		o.TasksDone.Inc()

@@ -123,3 +123,62 @@ func TestExecutedCounter(t *testing.T) {
 		t.Fatalf("executed counter %d", p.Executed())
 	}
 }
+
+func TestPanickingTaskKeepsWorkerAlive(t *testing.T) {
+	// Every worker's first task panics; the pool must recover all of
+	// them, count them, and still execute a full follow-up load at full
+	// width — a dead worker would strand its deque and hang Close.
+	p := New(4)
+	var boom sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		boom.Add(1)
+		if err := p.Submit(func() {
+			defer boom.Done()
+			panic("task bug")
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	boom.Wait()
+	if got := p.Metrics().PanickedTasks; got != 8 {
+		t.Fatalf("PanickedTasks = %d, want 8", got)
+	}
+
+	// Throughput after the panics: enough concurrent barrier tasks that
+	// completion requires all four workers to still be dispatching.
+	var gate sync.WaitGroup
+	gate.Add(4)
+	release := make(chan struct{})
+	var done sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		done.Add(1)
+		if err := p.Submit(func() {
+			defer done.Done()
+			gate.Done()
+			<-release
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitOK := make(chan struct{})
+	go func() { gate.Wait(); close(waitOK) }()
+	select {
+	case <-waitOK:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pool lost workers after panics: 4-way barrier never filled")
+	}
+	close(release)
+	done.Wait()
+
+	// Close must not hang on a worker killed by a panic.
+	closed := make(chan struct{})
+	go func() { p.Close(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung after panicking tasks")
+	}
+	if got := p.Metrics().Executed; got != 12 {
+		t.Fatalf("Executed = %d, want 12 (panicked tasks count too)", got)
+	}
+}

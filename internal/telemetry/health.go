@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/obs"
 )
 
@@ -135,6 +136,9 @@ type HealthReport struct {
 	// companion signal: a storm that also overruns the rings loses
 	// events.
 	TracerDropped int64 `json:"tracer_dropped"`
+	// Breaker is the speculation circuit breaker's snapshot, present
+	// when the serving Config attached one.
+	Breaker *core.BreakerSnapshot `json:"breaker,omitempty"`
 }
 
 // state parses the report's verdict back into a HealthState.

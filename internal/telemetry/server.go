@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/trace"
 )
@@ -27,6 +28,16 @@ type Config struct {
 	// SSEMaxBatch bounds the events sent per SSE message; when a poll
 	// finds more, the oldest are dropped and counted (default 4096).
 	SSEMaxBatch int
+	// SSEWriteTimeout bounds each /events write (default 5s): a client
+	// that stops reading is disconnected once the deadline passes,
+	// instead of pinning its handler goroutine forever on a blocked
+	// write. Disconnects are counted in
+	// telemetry_sse_disconnects_total.
+	SSEWriteTimeout time.Duration
+	// Breaker, when non-nil, is the speculation circuit breaker to
+	// surface: its instruments register in the observer's registry (so
+	// /metrics exposes them) and /healthz reports its snapshot.
+	Breaker *core.Breaker
 	// SampleInterval is the background health-sampling cadence, which
 	// keeps the /healthz window populated even under sparse scraping
 	// (default Window/8, floored at 100ms). Background sampling starts
@@ -42,6 +53,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SSEMaxBatch <= 0 {
 		c.SSEMaxBatch = 4096
+	}
+	if c.SSEWriteTimeout <= 0 {
+		c.SSEWriteTimeout = 5 * time.Second
 	}
 	if c.SampleInterval <= 0 {
 		c.SampleInterval = c.Health.withDefaults().Window / 8
@@ -70,11 +84,13 @@ type Server struct {
 	health *Health
 
 	// scrapes counts /metrics requests; sseDropped counts events
-	// dropped on the way to slow SSE clients. Both are registered in
+	// dropped on the way to slow SSE clients; sseDisconnects counts
+	// clients cut off by the per-write deadline. All are registered in
 	// the observer's registry so the surface observes itself.
-	scrapes    *obs.Counter
-	sseDropped *obs.Counter
-	sseClients *obs.Gauge
+	scrapes        *obs.Counter
+	sseDropped     *obs.Counter
+	sseDisconnects *obs.Counter
+	sseClients     *obs.Gauge
 
 	mu   sync.Mutex
 	srv  *http.Server
@@ -91,16 +107,21 @@ func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	reg := cfg.Observer.Reg
 	s := &Server{
-		cfg:        cfg,
-		health:     NewHealth(cfg.Observer, cfg.Health),
-		scrapes:    reg.Counter("telemetry_scrapes_total"),
-		sseDropped: reg.Counter("telemetry_sse_dropped_events_total"),
-		sseClients: reg.Gauge("telemetry_sse_clients"),
-		done:       make(chan struct{}),
+		cfg:            cfg,
+		health:         NewHealth(cfg.Observer, cfg.Health),
+		scrapes:        reg.Counter("telemetry_scrapes_total"),
+		sseDropped:     reg.Counter("telemetry_sse_dropped_events_total"),
+		sseDisconnects: reg.Counter("telemetry_sse_disconnects_total"),
+		sseClients:     reg.Gauge("telemetry_sse_clients"),
+		done:           make(chan struct{}),
 	}
 	reg.SetHelp("telemetry_scrapes_total", "GET /metrics requests served")
 	reg.SetHelp("telemetry_sse_dropped_events_total", "events dropped before reaching slow /events clients")
+	reg.SetHelp("telemetry_sse_disconnects_total", "/events clients disconnected by the per-write deadline")
 	reg.SetHelp("telemetry_sse_clients", "currently attached /events clients")
+	if cfg.Breaker != nil {
+		cfg.Breaker.Register(reg)
+	}
 	return s
 }
 
@@ -237,6 +258,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // (degraded is a warning, not an outage), 503 for aborting.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	rep := s.health.Eval()
+	if s.cfg.Breaker != nil {
+		snap := s.cfg.Breaker.Snapshot()
+		rep.Breaker = &snap
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if rep.state() == HealthAborting {
 		w.WriteHeader(http.StatusServiceUnavailable)
@@ -299,6 +324,18 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	s.sseClients.Add(1)
 	defer s.sseClients.Add(-1)
 
+	// Per-write deadline: a client that stops reading eventually blocks
+	// our writes on its full TCP window; without a deadline that pins
+	// this handler goroutine (and its poll loop) until the process exits.
+	// SetWriteDeadline is best-effort — httptest recorders and exotic
+	// wrappers don't support it, and an unsupported deadline just means
+	// the old unbounded behaviour for that transport.
+	rc := http.NewResponseController(w)
+	deadline := func() { _ = rc.SetWriteDeadline(time.Now().Add(s.cfg.SSEWriteTimeout)) }
+	disconnected := func() {
+		s.sseDisconnects.Inc()
+	}
+
 	enc := json.NewEncoder(w)
 	tick := time.NewTicker(s.cfg.SSEInterval)
 	defer tick.Stop()
@@ -322,13 +359,17 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			cursor = batch.Events[len(batch.Events)-1].TS
 		}
 		if len(batch.Events) > 0 || once {
+			deadline()
 			if _, err := fmt.Fprint(w, "data: "); err != nil {
+				disconnected()
 				return
 			}
 			if err := enc.Encode(batch); err != nil {
+				disconnected()
 				return
 			}
 			if _, err := fmt.Fprint(w, "\n"); err != nil {
+				disconnected()
 				return
 			}
 			flusher.Flush()

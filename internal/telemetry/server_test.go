@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -12,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/workload"
 	"repro/internal/workload/registry"
@@ -463,5 +465,107 @@ func TestServerPprofGate(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("pprof disabled served %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestEventsStalledClientDisconnected(t *testing.T) {
+	// A client that opens /events and then stops reading must be cut off
+	// by the per-write deadline, not pin the handler goroutine forever on
+	// a blocked write.
+	o := obs.NewObserver(4, 1<<14)
+	s := NewServer(Config{
+		Observer:        o,
+		SSEInterval:     2 * time.Millisecond,
+		SSEWriteTimeout: 250 * time.Millisecond,
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+
+	// Keep the tracer full so every poll ships a near-max batch and the
+	// stalled connection's buffers fill fast.
+	stopEmit := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stopEmit:
+				return
+			default:
+			}
+			o.Tracer.Emit(i&3, obs.EvGroupStart, int32(i), int64(i))
+		}
+	}()
+	defer func() { close(stopEmit); wg.Wait() }()
+
+	conn, err := net.Dial("tcp", ts.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "GET /events HTTP/1.1\r\nHost: stall\r\n\r\n")
+	// Read just the response header, then stall without ever draining
+	// the body. The server keeps writing batches until the socket
+	// buffers fill and its writes block on our unread window.
+	hdr := make([]byte, 512)
+	if _, err := conn.Read(hdr); err != nil {
+		t.Fatal(err)
+	}
+
+	disconnects := o.Reg.Counter("telemetry_sse_disconnects_total")
+	deadlineHit := time.Now().Add(30 * time.Second)
+	for disconnects.Value() == 0 {
+		if time.Now().After(deadlineHit) {
+			t.Fatalf("stalled client never disconnected (clients=%d)",
+				o.Reg.Gauge("telemetry_sse_clients").Value())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// The handler returned: its client gauge must drain back to zero.
+	for o.Reg.Gauge("telemetry_sse_clients").Value() != 0 {
+		if time.Now().After(deadlineHit) {
+			t.Fatal("sse client gauge never drained after disconnect")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestHealthzReportsBreaker(t *testing.T) {
+	o := obs.NewObserver(1, 64)
+	b := core.NewBreaker(core.BreakerConfig{})
+	for i := 0; i < 5; i++ {
+		b.Allow()
+		b.Record(true)
+	}
+	s := NewServer(Config{Observer: o, Breaker: b})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rep HealthReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Breaker == nil {
+		t.Fatal("healthz missing breaker section")
+	}
+	if rep.Breaker.State != "open" || rep.Breaker.Trips != 1 {
+		t.Fatalf("breaker section %+v", rep.Breaker)
+	}
+
+	// The breaker's instruments are registered: /metrics must expose them.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, _ := io.ReadAll(mresp.Body)
+	if !strings.Contains(string(body), "breaker_trips_total 1") {
+		t.Fatalf("metrics missing breaker_trips_total:\n%s", body)
 	}
 }

@@ -339,6 +339,9 @@ func addStats(agg *core.Stats, st core.Stats) {
 	agg.UsefulInvocations += st.UsefulInvocations
 	agg.AuxCalls += st.AuxCalls
 	agg.AuxInputs += st.AuxInputs
+	agg.PanickedGroups += st.PanickedGroups
+	agg.TimedOutGroups += st.TimedOutGroups
+	agg.BreakerDenied += st.BreakerDenied
 }
 
 // CostModel implements workload.Workload. One default-precision block is

@@ -21,6 +21,7 @@ package workload
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -54,6 +55,12 @@ type SpecOptions struct {
 	// metrics for real RunSTATS executions (see internal/obs); nil runs
 	// unobserved at ~zero cost.
 	Obs *obs.Observer
+	// GroupTimeout bounds one speculative group's wall-clock execution
+	// in real engine runs; zero disables the deadline.
+	GroupTimeout time.Duration
+	// Breaker, when non-nil, gates speculation across this workload's
+	// engine runs with a shared abort-rate circuit breaker.
+	Breaker *core.Breaker
 }
 
 // CoreOptions lowers the engine-relevant fields of o (plus the run seed)
@@ -62,14 +69,16 @@ type SpecOptions struct {
 // the observability sink) identically.
 func (o SpecOptions) CoreOptions(seed uint64) core.Options {
 	return core.Options{
-		UseAux:    o.UseAux,
-		GroupSize: o.GroupSize,
-		Window:    o.Window,
-		RedoMax:   o.RedoMax,
-		Rollback:  o.Rollback,
-		Workers:   o.Workers,
-		Seed:      seed,
-		Obs:       o.Obs,
+		UseAux:       o.UseAux,
+		GroupSize:    o.GroupSize,
+		Window:       o.Window,
+		RedoMax:      o.RedoMax,
+		Rollback:     o.Rollback,
+		Workers:      o.Workers,
+		Seed:         seed,
+		GroupTimeout: o.GroupTimeout,
+		Breaker:      o.Breaker,
+		Obs:          o.Obs,
 	}
 }
 

@@ -31,15 +31,17 @@ func (sd *StateDependence[I, S, O]) RunAdaptive(o AdaptiveOptions) ([]O, S, Adap
 	})
 	return dep.RunAdaptive(sd.inputs, sd.initial, core.AdaptiveOptions{
 		Options: core.Options{
-			UseAux:    o.UseAux,
-			GroupSize: o.GroupSize,
-			Window:    o.Window,
-			RedoMax:   o.RedoMax,
-			Rollback:  o.Rollback,
-			Workers:   o.Workers,
-			Seed:      o.Seed,
-			Pool:      sd.sharedPool,
-			Obs:       sd.observer,
+			UseAux:       o.UseAux,
+			GroupSize:    o.GroupSize,
+			Window:       o.Window,
+			RedoMax:      o.RedoMax,
+			Rollback:     o.Rollback,
+			Workers:      o.Workers,
+			Seed:         o.Seed,
+			GroupTimeout: o.GroupTimeout,
+			Breaker:      o.Breaker,
+			Pool:         sd.sharedPool,
+			Obs:          sd.observer,
 		},
 		MinGroup:    o.MinGroup,
 		MaxGroup:    o.MaxGroup,

@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func matchCounter(spec counter, originals []counter) bool {
+	for _, o := range originals {
+		if math.Abs(spec.V-o.V) < 1e-9 {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStartStreamPanicClosesChannelAndJoinReports(t *testing.T) {
+	// A deterministic user-code panic reaches the sequential fallback,
+	// where no containment is possible — but the committed-output channel
+	// must still close and join must report the failure instead of the
+	// process crashing with a reader blocked on the channel.
+	inputs := inputsN(16)
+	compute := func(r *Rand, in int, s counter) (int, counter) {
+		if in == 6 {
+			panic("stream bug")
+		}
+		return computeDouble(r, in, s)
+	}
+	sd := NewStateDependence(inputs, counter{}, compute)
+	sd.SetAuxiliary(exactAux(inputs))
+	sd.SetStateOps(nil, matchCounter)
+	sd.Configure(Options{UseAux: true, GroupSize: 4, Window: 16, Workers: 4, Seed: 9})
+
+	ch, join := sd.StartStream()
+	drained := make(chan int, 1)
+	go func() {
+		n := 0
+		for range ch {
+			n++
+		}
+		drained <- n
+	}()
+	select {
+	case n := <-drained:
+		if n >= 16 {
+			t.Fatalf("drained %d outputs despite the panic", n)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("channel never closed after user-code panic")
+	}
+	_, _, _, err := join()
+	if err == nil {
+		t.Fatal("join returned nil error after user-code panic")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error type %T, want *PanicError", err)
+	}
+	if pe.Value != "stream bug" {
+		t.Fatalf("panic value %v", pe.Value)
+	}
+}
+
+func TestStartStreamTransientPanicContained(t *testing.T) {
+	// A panic that fires only on the speculative lane is contained by the
+	// engine; the stream completes and join reports success.
+	inputs := inputsN(16)
+	var tripped atomic.Bool
+	compute := func(r *Rand, in int, s counter) (int, counter) {
+		if in == 10 && tripped.CompareAndSwap(false, true) {
+			panic("transient")
+		}
+		return computeDouble(r, in, s)
+	}
+	sd := NewStateDependence(inputs, counter{}, compute)
+	sd.SetAuxiliary(exactAux(inputs))
+	sd.SetStateOps(nil, matchCounter)
+	sd.Configure(Options{UseAux: true, GroupSize: 4, Window: 16, Workers: 4, Seed: 9})
+
+	ch, join := sd.StartStream()
+	n := 0
+	for c := range ch {
+		if c.Index != n {
+			t.Fatalf("order: got %d want %d", c.Index, n)
+		}
+		n++
+	}
+	if n != 16 {
+		t.Fatalf("streamed %d/16", n)
+	}
+	outs, _, st, err := join()
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if len(outs) != 16 {
+		t.Fatalf("outputs: %d", len(outs))
+	}
+	if st.PanickedGroups < 1 {
+		t.Fatalf("PanickedGroups = %d, want >= 1", st.PanickedGroups)
+	}
+}
+
+func TestRunCheckedPublicAPI(t *testing.T) {
+	inputs := inputsN(8)
+	compute := func(r *Rand, in int, s counter) (int, counter) {
+		panic("api bug")
+	}
+	sd := NewStateDependence(inputs, counter{}, compute)
+	_, _, _, err := sd.RunChecked()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("RunChecked error %v (%T), want *PanicError", err, err)
+	}
+}
+
+func TestOptionsBreakerAndTimeoutPlumbed(t *testing.T) {
+	// The SDI-level Options fields must reach the engine: a pre-tripped
+	// breaker suppresses speculation, and GroupTimeout squashes slow
+	// speculative lanes.
+	clk := time.Unix(1700000000, 0)
+	b := NewBreaker(BreakerConfig{Now: func() time.Time { return clk }})
+	for i := 0; i < 5; i++ {
+		b.Allow()
+		b.Record(true)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker not tripped")
+	}
+	inputs := inputsN(16)
+	sd := NewStateDependence(inputs, counter{}, computeDouble)
+	sd.SetAuxiliary(exactAux(inputs))
+	sd.SetStateOps(nil, matchCounter)
+	sd.Configure(Options{
+		UseAux: true, GroupSize: 4, Window: 16, Workers: 2, Seed: 1,
+		Breaker: b,
+	})
+	_, _, st := sd.Run()
+	if st.BreakerDenied != 1 || st.Groups != 1 {
+		t.Fatalf("breaker not plumbed: denied=%d groups=%d", st.BreakerDenied, st.Groups)
+	}
+
+	slow := func(r *Rand, in int, s counter) (int, counter) {
+		if in > 4 {
+			time.Sleep(15 * time.Millisecond)
+		}
+		return computeDouble(r, in, s)
+	}
+	sd2 := NewStateDependence(inputs, counter{}, slow)
+	sd2.SetAuxiliary(exactAux(inputs))
+	sd2.SetStateOps(nil, matchCounter)
+	sd2.Configure(Options{
+		UseAux: true, GroupSize: 4, Window: 16, Workers: 4, Seed: 1,
+		GroupTimeout: time.Millisecond,
+	})
+	_, _, st2 := sd2.Run()
+	if st2.TimedOutGroups < 1 {
+		t.Fatalf("GroupTimeout not plumbed: TimedOutGroups=%d", st2.TimedOutGroups)
+	}
+}
+
+func TestJoinAfterSynchronousRunReturnsCachedResults(t *testing.T) {
+	// A second Join (or Run) after a synchronous first run must return the
+	// completed run's results, not block on the never-created done channel.
+	inputs := inputsN(8)
+	sd := NewStateDependence(inputs, counter{}, computeDouble)
+	outs1, _, _ := sd.Run()
+	done := make(chan []int, 1)
+	go func() {
+		outs2, _, _ := sd.Run()
+		done <- outs2
+	}()
+	select {
+	case outs2 := <-done:
+		if len(outs2) != len(outs1) {
+			t.Fatalf("second Run returned %d outputs, first %d", len(outs2), len(outs1))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("second Run blocked after a synchronous first run")
+	}
+}

@@ -23,6 +23,7 @@ package stats
 
 import (
 	"errors"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -69,6 +70,13 @@ type Options struct {
 	// Seed fixes the run's randomness; runs with equal seeds and
 	// options are reproducible.
 	Seed uint64
+	// GroupTimeout bounds one speculative group's wall-clock execution;
+	// a lane exceeding it is squashed like a validation mismatch and its
+	// inputs reprocessed sequentially. Zero disables the deadline.
+	GroupTimeout time.Duration
+	// Breaker, when non-nil, gates speculation with a sliding-window
+	// abort-rate circuit breaker shared across runs (see NewBreaker).
+	Breaker *Breaker
 }
 
 // RunStats reports what the runtime did: group counts, speculative commits,
@@ -160,13 +168,20 @@ func (sd *StateDependence[I, S, O]) Start() error {
 // Join waits until all inputs are correctly processed (the join() of
 // Figure 9) and returns the outputs in input order, the final state, and
 // the run statistics. Calling Join without Start runs synchronously.
+// Further Join/Run calls return the completed run's results; a dependence
+// executes its inputs once.
 func (sd *StateDependence[I, S, O]) Join() ([]O, S, RunStats) {
 	if !sd.started {
 		sd.outputs, sd.final, sd.stats = sd.run()
 		sd.started = true
 		return sd.outputs, sd.final, sd.stats
 	}
-	<-sd.done
+	// done is nil when the first Join ran synchronously (no Start);
+	// receiving from it would block forever instead of returning the
+	// already-computed results.
+	if sd.done != nil {
+		<-sd.done
+	}
 	return sd.outputs, sd.final, sd.stats
 }
 
@@ -176,19 +191,32 @@ func (sd *StateDependence[I, S, O]) Run() ([]O, S, RunStats) {
 }
 
 func (sd *StateDependence[I, S, O]) run() ([]O, S, RunStats) {
-	dep := core.New(core.Compute[I, S, O](sd.compute), core.Aux[I, S](sd.aux), core.StateOps[S]{
+	return sd.dep().Run(sd.inputs, sd.initial, sd.coreOptions())
+}
+
+// dep lowers the SDI's functions to an engine dependence.
+func (sd *StateDependence[I, S, O]) dep() *core.Dependence[I, S, O] {
+	return core.New(core.Compute[I, S, O](sd.compute), core.Aux[I, S](sd.aux), core.StateOps[S]{
 		Clone:    sd.clone,
 		MatchAny: sd.match,
 	})
-	return dep.Run(sd.inputs, sd.initial, core.Options{
-		UseAux:    sd.opts.UseAux,
-		GroupSize: sd.opts.GroupSize,
-		Window:    sd.opts.Window,
-		RedoMax:   sd.opts.RedoMax,
-		Rollback:  sd.opts.Rollback,
-		Workers:   sd.opts.Workers,
-		Seed:      sd.opts.Seed,
-		Pool:      sd.sharedPool,
-		Obs:       sd.observer,
-	})
+}
+
+// coreOptions lowers the configured Options plus the Runtime attachment to
+// engine options — the single SDI→engine mapping, so every run entry point
+// (Run, RunStream, StartStream, RunChecked) threads new fields identically.
+func (sd *StateDependence[I, S, O]) coreOptions() core.Options {
+	return core.Options{
+		UseAux:       sd.opts.UseAux,
+		GroupSize:    sd.opts.GroupSize,
+		Window:       sd.opts.Window,
+		RedoMax:      sd.opts.RedoMax,
+		Rollback:     sd.opts.Rollback,
+		Workers:      sd.opts.Workers,
+		Seed:         sd.opts.Seed,
+		GroupTimeout: sd.opts.GroupTimeout,
+		Breaker:      sd.opts.Breaker,
+		Pool:         sd.sharedPool,
+		Obs:          sd.observer,
+	}
 }

@@ -57,7 +57,10 @@ func TestStartStreamChannel(t *testing.T) {
 	if n != 20 {
 		t.Fatalf("received: %d", n)
 	}
-	outs, final, _ := join()
+	outs, final, _, err := join()
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
 	if len(outs) != 20 || final.V != 210 {
 		t.Fatalf("join: %d outputs, final %v", len(outs), final.V)
 	}
@@ -67,7 +70,10 @@ func TestStartStreamSlowConsumer(t *testing.T) {
 	// The channel buffers the full input count: the runtime must finish
 	// even if the consumer only drains afterwards.
 	ch, join := streamingSD(32).StartStream()
-	outs, _, _ := join() // finish first
+	outs, _, _, err := join() // finish first
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
 	if len(outs) != 32 {
 		t.Fatalf("outputs: %d", len(outs))
 	}
