@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build test check race vet bench-pool bench bench-paper fuzz bench-obs serve-smoke chaos
+.PHONY: build test check race vet bench-pool bench bench-paper fuzz bench-obs serve-smoke chaos explore explore-long
 
 build:
 	$(GO) build ./...
@@ -16,9 +16,9 @@ test: build
 	$(GO) test ./...
 
 # The full local gate: tier-1 tests, the static-analysis suite, the
-# telemetry-server smoke (boot, curl every endpoint, assert statuses), and
-# the fault-injection campaign.
-check: test vet serve-smoke chaos
+# telemetry-server smoke (boot, curl every endpoint, assert statuses),
+# the fault-injection campaign, and the bounded schedule exploration.
+check: test vet serve-smoke chaos explore
 
 race:
 	$(GO) test -race ./...
@@ -35,11 +35,12 @@ vet:
 bench-pool:
 	$(GO) test -run '^$$' -bench 'Submit|Fanout' -benchmem ./internal/pool ./internal/core
 
-# Telemetry/observability benchmark snapshot: runs the scrape-under-load
-# and Emit microbenchmarks through cmd/statsbench and writes the parsed
-# results to BENCH_pr4.json (the checked-in regression reference).
+# Hot-path benchmark snapshot: the telemetry scrape-under-load and Emit
+# microbenchmarks plus the engine's speculative run with the controlled
+# scheduler off (nil fast path) and on, written to BENCH_pr6.json (the
+# checked-in regression reference continuing BENCH_pr4.json).
 bench:
-	$(GO) run ./cmd/statsbench -out BENCH_pr4.json
+	$(GO) run ./cmd/statsbench -out BENCH_pr6.json
 
 # Full evaluation benchmarks (paper tables/figures). STATS_QUICK=1 scales
 # budgets down for smoke runs.
@@ -57,6 +58,20 @@ serve-smoke:
 # /metrics scrape. The pinned seed keeps the injection schedule fixed.
 chaos:
 	$(GO) run ./cmd/statsexp -exp chaos -quick -seed 51966
+
+# Systematic schedule exploration: every engine run's nondeterministic
+# decision points (group dispatch, validate/squash races, steal choices)
+# are driven by seeded controllers — alternating a random walk and PCT —
+# and checked against the schedule-invariance/§3.1 output contracts;
+# recorded traces are sampled for replay fidelity and any failure is
+# delta-debugged to a minimal trace in testdata/schedules/. The quick
+# variant is pinned and bounded for the local gate; explore-long sweeps
+# the full schedule budget.
+explore:
+	$(GO) run ./cmd/statsexp -exp explore -quick -seed 51966 -schedules 6
+
+explore-long:
+	$(GO) run ./cmd/statsexp -exp explore -schedules 50
 
 # Fuzzing. Front end: FuzzParse checks accepted inputs round-trip through
 # a canonical re-rendering; FuzzTranslate checks translation invariants.

@@ -1,12 +1,13 @@
-// Command statsbench runs the repository's telemetry and observability
-// microbenchmarks through `go test -bench` and writes the parsed results
-// as a JSON document — the checked-in BENCH_pr4.json snapshot that records
-// the scrape-under-load and Emit costs a telemetry change must not
-// regress.
+// Command statsbench runs the repository's hot-path microbenchmarks
+// through `go test -bench` and writes the parsed results as a JSON
+// document — the checked-in BENCH_pr6.json snapshot (continuing
+// BENCH_pr4.json) that records the telemetry scrape/Emit costs plus the
+// engine's speculative path with the controlled scheduler disabled (the
+// nil fast path a sched change must not regress) and enabled.
 //
 // Usage:
 //
-//	statsbench                     # write BENCH_pr4.json in the cwd
+//	statsbench                     # write BENCH_pr6.json in the cwd
 //	statsbench -out results.json   # elsewhere
 //	statsbench -benchtime 100x     # quicker smoke run
 package main
@@ -51,14 +52,17 @@ type BenchDoc struct {
 }
 
 // suites are the (package, bench regexp) pairs the snapshot covers: the
-// telemetry server under load and the tracer's emit paths.
+// telemetry server under load, the tracer's emit paths, and the engine's
+// speculative run with the controlled scheduler off (nil fast path) and
+// on (gate-serialized systematic-testing mode).
 var suites = []struct{ pkg, pattern string }{
 	{"./internal/telemetry", "BenchmarkMetricsScrapeUnderLoad|BenchmarkEmitWithSSEClient|BenchmarkEmitDisabledObserver|BenchmarkBuildSpans"},
 	{"./internal/obs", "BenchmarkEmitDisabled$|BenchmarkEmitEnabled|BenchmarkObserverDisabledGroupPath"},
+	{"./internal/core", "BenchmarkEngineSpeculative$|BenchmarkEngineControlledSched$"},
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr4.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr6.json", "output JSON path")
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
 	flag.Parse()
 

@@ -11,7 +11,8 @@
 // Experiments: fig02, fig03, table1, fig12, fig13, fig14, fig15, fig16,
 // fig17, fig18, fig19, fig20, scrape (live-telemetry self-scrape
 // reconciliation), chaos (seeded fault injection vs the §3.1 output
-// guarantee), ablation.
+// guarantee), explore (systematic schedule exploration under controlled
+// scheduling; -schedules sizes the per-row sweep), ablation.
 package main
 
 import (
@@ -27,6 +28,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (fig02..fig20, table1, ablation, or 'all')")
 	quick := flag.Bool("quick", false, "use scaled-down budgets")
 	seed := flag.Uint64("seed", 0, "override the experiment seed (0 keeps the default)")
+	schedules := flag.Int("schedules", 0, "explore: controlled schedules per row (0 keeps the default)")
 	format := flag.String("format", "text", "output format: text, json, csv")
 	flag.Parse()
 
@@ -76,6 +78,15 @@ func main() {
 			}
 			return render(t)
 		},
+		"explore": func() error {
+			t, err := harness.ExploreTable(e, harness.ExploreConfig{SchedulesPerRow: *schedules})
+			if t != nil {
+				if rerr := render(t); rerr != nil && err == nil {
+					err = rerr
+				}
+			}
+			return err
+		},
 		"ablation": func() error {
 			for _, w := range e.Targets() {
 				for _, dim := range []harness.AblationDim{
@@ -97,7 +108,7 @@ func main() {
 	}
 	order := []string{"fig02", "fig03", "table1", "fig12", "fig13", "fig14",
 		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "scrape", "chaos",
-		"ablation"}
+		"explore", "ablation"}
 
 	ids := []string{*exp}
 	if *exp == "all" {

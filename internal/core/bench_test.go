@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/pool"
 	"repro/internal/rng"
+	"repro/internal/sched"
 )
 
 // Engine micro-benchmarks: overhead of the speculation machinery itself
@@ -105,6 +106,25 @@ func BenchmarkEngineSubmitBatchVsLoop(b *testing.B) {
 					UseAux: true, GroupSize: g, Window: g, Pool: p, Seed: uint64(i),
 				})
 			}
+		})
+	}
+}
+
+// BenchmarkEngineControlledSched prices the controlled scheduler against
+// the nil fast path BenchmarkEngineSpeculative measures: with Sched nil
+// every decision point costs one predictable branch; with a controller
+// attached every admission serializes through the gate. The controlled
+// number is the price of a systematic-testing run, not a production
+// configuration.
+func BenchmarkEngineControlledSched(b *testing.B) {
+	inputs := benchInputs(1024)
+	d := New(cheapCompute, sumAux, walkOps())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Run(inputs, walkState{}, Options{
+			UseAux: true, GroupSize: 64, Window: 64, RedoMax: 1, Rollback: 4,
+			Workers: 8, Seed: uint64(i), Sched: sched.NewRandom(uint64(i)),
 		})
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/rng"
+	"repro/internal/sched"
 )
 
 // Compute is the target of a state dependence (computeOutput in Figure 8):
@@ -98,6 +99,23 @@ type Options struct {
 	// Stats.BreakerDenied) and Records its abort/panic/timeout outcome
 	// afterwards.
 	Breaker *Breaker
+	// Sched, when non-nil, is the controlled scheduler (internal/sched):
+	// the engine yields at every nondeterministic decision point — aux
+	// production, group start/step/finish, validation, redo, squash,
+	// fallback entry, breaker admission/recording — so adversarial
+	// interleavings can be explored and recorded schedules replayed. A
+	// nil Sched costs one branch per decision point (the Options.Obs
+	// discipline). Under a controller a positive GroupTimeout stops
+	// consulting the real clock (parked time would count) and instead
+	// asks the controller each step whether the deadline expired
+	// (sched.PointTimeoutCheck), making timeout races schedulable.
+	Sched sched.Controller
+	// SchedLane is the run's base lane in the controller's namespace:
+	// the coordinator yields on SchedLane and group j on SchedLane+1+j.
+	// Concurrent runs sharing one controller must use disjoint bases
+	// (pool workers use negative lanes, so any non-negative spacing of
+	// 1+maxGroups works).
+	SchedLane int
 }
 
 // Stats reports what the runtime did during a run. The profiler and the
@@ -244,17 +262,29 @@ func (d *Dependence[I, S, O]) runAll(inputs []I, initial S, opts Options, emit E
 		return nil, d.ops.Clone(initial), st
 	}
 
+	ctl := opts.Sched
+	if ctl != nil {
+		// Retire the coordinator lane however the run ends, including a
+		// sequential-path panic unwinding through RunChecked.
+		defer ctl.Done(opts.SchedLane)
+	}
+
 	g := opts.GroupSize
 	if g < 1 {
 		g = 1
 	}
 	speculating := opts.UseAux && d.aux != nil && g < len(inputs)
-	if speculating && opts.Breaker != nil && !opts.Breaker.Allow() {
-		speculating = false
-		st.BreakerDenied = 1
-		if o := opts.Obs; o != nil {
-			o.BreakerDenied.Inc()
-			o.Tracer.Emit(obs.LaneCoord, obs.EvBreakerDenied, -1, 0)
+	if speculating && opts.Breaker != nil {
+		if ctl != nil {
+			ctl.Yield(sched.PointBreakerAllow, opts.SchedLane)
+		}
+		if !opts.Breaker.Allow() {
+			speculating = false
+			st.BreakerDenied = 1
+			if o := opts.Obs; o != nil {
+				o.BreakerDenied.Inc()
+				o.Tracer.Emit(obs.LaneCoord, obs.EvBreakerDenied, -1, 0)
+			}
 		}
 	}
 	if !speculating {
@@ -264,6 +294,9 @@ func (d *Dependence[I, S, O]) runAll(inputs []I, initial S, opts Options, emit E
 	}
 	outs, final, stats := d.runSpeculative(root, inputs, initial, g, opts, &st, emit)
 	if opts.Breaker != nil {
+		if ctl != nil {
+			ctl.Yield(sched.PointBreakerRecord, opts.SchedLane)
+		}
 		opts.Breaker.Record(stats.Aborts > 0 || stats.PanickedGroups > 0 || stats.TimedOutGroups > 0)
 	}
 	return outs, final, stats
@@ -319,6 +352,11 @@ type groupRun[I, S, O any] struct {
 	// redoSrc yields fresh randomness for re-executions.
 	redoSrc *rng.Source
 
+	// ctl and lane are the run's controlled scheduler and this group's
+	// lane in it (nil/0 when the run is uncontrolled).
+	ctl  sched.Controller
+	lane int
+
 	done    chan struct{}
 	aborted atomic.Bool // set to squash this group's in-flight work
 
@@ -351,6 +389,9 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 		redoMax = 0
 	}
 
+	ctl := opts.Sched
+	coordLane := opts.SchedLane
+
 	// Derive all random streams on the coordinator so the run is
 	// reproducible regardless of scheduling: per-group spec stream,
 	// execution stream, and redo stream.
@@ -365,6 +406,8 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 			start:   j * g,
 			end:     min(n, (j+1)*g),
 			redoSrc: root.Split(),
+			ctl:     ctl,
+			lane:    coordLane + 1 + j,
 			done:    make(chan struct{}),
 		}
 	}
@@ -384,6 +427,9 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 		recent := inputs[lo:groups[j].start]
 		st.AuxCalls++
 		st.AuxInputs += len(recent)
+		if ctl != nil {
+			ctl.Yield(sched.PointAux, coordLane)
+		}
 		spec, ok := d.safeAux(specSrcs[j], initial, recent)
 		if !ok {
 			groups[j].failure = failPanic
@@ -401,18 +447,25 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 	// (speculative) start state, checkpointing before its last W inputs.
 	p := opts.Pool
 	if p == nil {
-		w := opts.Workers
-		if w < 1 {
-			w = 1
-		}
-		p = pool.New(w)
+		p = newRunPool(opts)
 		// A private pool reports its scheduler events to this run's
-		// observer; a shared pool's observer is owned by whoever built
-		// the pool (stats.Runtime) and is left untouched.
+		// observer; a shared pool's observer (and controller) is owned by
+		// whoever built the pool (stats.Runtime) and is left untouched.
 		p.SetObserver(o)
-		defer p.Close()
+		// Close waits for the workers, and a worker may be parked at one
+		// of its decision points — the coordinator must release its
+		// schedule token or neither side can advance.
+		defer func() {
+			if ctl != nil {
+				ctl.Block(coordLane)
+			}
+			p.Close()
+			if ctl != nil {
+				ctl.Unblock(coordLane)
+			}
+		}()
 	}
-	sched := p.Metrics() // baseline for this run's scheduler deltas
+	poolBase := p.Metrics() // baseline for this run's scheduler deltas
 	var invocations atomic.Int64
 	var wg sync.WaitGroup
 	tasks := make([]pool.Task, numGroups)
@@ -423,6 +476,11 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 		tasks[j] = func() {
 			defer wg.Done()
 			defer close(gr.done)
+			if ctl != nil {
+				// Retire the group lane on every exit, panic included,
+				// before the done channel releases the coordinator.
+				defer ctl.Done(gr.lane)
+			}
 			// Panic isolation: a panic in user code on this lane marks
 			// the group failed and squashes it together with its
 			// successors — their results would be discarded anyway once
@@ -440,12 +498,21 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 		}
 	}
 	// Fan the whole group set out in one batch operation; a closed pool
-	// leaves a suffix unqueued, which runs inline on the coordinator.
+	// leaves a suffix unqueued, which runs inline on the coordinator. Both
+	// can block for real (saturated pool; inline group execution yields on
+	// the groups' own lanes), so the coordinator steps out of the schedule
+	// around them.
+	if ctl != nil {
+		ctl.Block(coordLane)
+	}
 	nq, err := p.SubmitBatch(tasks)
 	if err != nil {
 		for _, task := range tasks[nq:] {
 			task()
 		}
+	}
+	if ctl != nil {
+		ctl.Unblock(coordLane)
 	}
 
 	// Validate in input order. Group 0 is never speculative. For each
@@ -460,7 +527,12 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 	committed := make([]execution[S, O], numGroups)
 
 	abortAt := -1 // first group index whose speculation failed
-	// abort squashes groups j.. and records the boundary outcome.
+	// abort squashes groups j.. and records the boundary outcome. The
+	// squash yield comes AFTER the abort flags are set (a post-write
+	// yield): parking the coordinator there lets the controller decide
+	// which in-flight lanes observe the squash mid-group and which run
+	// to completion first — the validate/squash race the exploration
+	// harness targets.
 	abort := func(j, redosUsed int) {
 		st.Aborts++
 		if o != nil {
@@ -475,10 +547,19 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 				o.Tracer.Emit(obs.LaneCoord, obs.EvSquash, int32(k), int64(groups[k].end-groups[k].start))
 			}
 		}
+		if ctl != nil {
+			ctl.Yield(sched.PointSquash, coordLane)
+		}
 	}
 
 	first := groups[0]
+	if ctl != nil {
+		ctl.Block(coordLane)
+	}
 	<-first.done
+	if ctl != nil {
+		ctl.Unblock(coordLane)
+	}
 	if first.failure != failNone {
 		// Group 0 ran from the true initial state but its lane failed;
 		// nothing is committed and the whole vector falls back.
@@ -490,7 +571,13 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 	for j := 1; j < numGroups && abortAt < 0; j++ {
 		prev := groups[j-1]
 		cur := groups[j]
+		if ctl != nil {
+			ctl.Block(coordLane)
+		}
 		<-cur.done
+		if ctl != nil {
+			ctl.Unblock(coordLane)
+		}
 
 		if cur.failure != failNone {
 			// The group's own results are unusable (contained panic or
@@ -506,6 +593,9 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 		var vstart time.Time
 		if o != nil {
 			vstart = time.Now()
+		}
+		if ctl != nil {
+			ctl.Yield(sched.PointValidate, coordLane)
 		}
 		originals := []S{committed[j-1].final}
 		matched, ok := d.safeMatchAny(cur.specStart, originals)
@@ -526,6 +616,9 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 			if o != nil {
 				o.Redos.Inc()
 				o.Tracer.Emit(obs.LaneCoord, obs.EvRedo, int32(j), int64(t+1))
+			}
+			if ctl != nil {
+				ctl.Yield(sched.PointRedo, coordLane)
 			}
 			redo, rok := d.safeRedoGroup(prev, inputs, &invocations)
 			if !rok {
@@ -581,7 +674,13 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 
 	if abortAt < 0 {
 		// Every group validated; commit in order.
+		if ctl != nil {
+			ctl.Block(coordLane)
+		}
 		wg.Wait()
+		if ctl != nil {
+			ctl.Unblock(coordLane)
+		}
 		for j := 0; j < numGroups; j++ {
 			outs = append(outs, committed[j].outputs...)
 			if j > 0 {
@@ -594,7 +693,7 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 		emitExec(emit, committed[numGroups-1], groups[numGroups-1].start)
 		st.Invocations += invocations.Load()
 		st.UsefulInvocations += int64(n) // one committed invocation per input
-		captureScheduler(st, p, sched)
+		captureScheduler(st, p, poolBase)
 		return outs, committed[numGroups-1].final, *st
 	}
 
@@ -604,7 +703,13 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 	// last valid group (the uncloned initial state when group 0 itself
 	// failed). Per §3.1, "no other speculation is performed until all
 	// the current inputs are processed."
+	if ctl != nil {
+		ctl.Block(coordLane)
+	}
 	wg.Wait()
+	if ctl != nil {
+		ctl.Unblock(coordLane)
+	}
 	// Failure sweep: every lane is done, so the flags are final. Count
 	// and trace each contained panic and deadline squash — groups past
 	// the abort point may have failed concurrently before the squash
@@ -648,10 +753,13 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 		o.FallbackInputs.Add(int64(n - fallbackStart))
 		o.Tracer.Emit(obs.LaneCoord, obs.EvFallback, int32(abortAt), int64(n-fallbackStart))
 	}
+	if ctl != nil {
+		ctl.Yield(sched.PointFallback, coordLane)
+	}
 	fbOuts, final := d.runSequential(root, inputs[fallbackStart:], fallbackState, st, emit, fallbackStart)
 	outs = append(outs, fbOuts...)
 	st.UsefulInvocations += int64(fallbackStart)
-	captureScheduler(st, p, sched)
+	captureScheduler(st, p, poolBase)
 	return outs, final, *st
 }
 
@@ -688,6 +796,21 @@ func (d *Dependence[I, S, O]) safeRedoGroup(gr *groupRun[I, S, O], inputs []I, i
 	return d.redoGroup(gr, inputs, invocations), true
 }
 
+// newRunPool builds the private worker pool for one run: Options.Workers
+// wide, worker PRNGs seeded from Options.Seed, and the run's controller
+// (if any) attached so pool-level decisions are explorable too.
+func newRunPool(opts Options) *pool.Pool {
+	w := opts.Workers
+	if w < 1 {
+		w = 1
+	}
+	p := pool.NewSeeded(w, opts.Seed)
+	if opts.Sched != nil {
+		p.SetController(opts.Sched)
+	}
+	return p
+}
+
 // captureScheduler fills the run's scheduler counters as deltas against the
 // pool-metrics baseline taken before the group fan-out.
 func captureScheduler(st *Stats, p *pool.Pool, before pool.Metrics) {
@@ -714,6 +837,12 @@ func emitExec[S, O any](emit Emit[O], exec execution[S, O], base int) {
 // exempt: its outputs commit unconditionally, so squashing it gains
 // nothing). Group start/finish events go to ob (nil-checked) so the
 // observed schedule shows every group's execution span, squashed or not.
+//
+// Under a controller (gr.ctl) the lane yields at start, before every
+// step's abort-flag inspection, and at finish; with a deadline it asks
+// the controller each step whether the deadline expired instead of
+// consulting the real clock, because serialized lanes spend most of
+// their wall-clock time parked.
 func (d *Dependence[I, S, O]) executeGroup(r *rng.Source, inputs []I, gr *groupRun[I, S, O], rollback int, timeout time.Duration, invocations *atomic.Int64, ob *obs.Observer) {
 	length := gr.end - gr.start
 	w := rollback
@@ -725,10 +854,14 @@ func (d *Dependence[I, S, O]) executeGroup(r *rng.Source, inputs []I, gr *groupR
 	}
 	checkpointAt := gr.end - w
 
+	ctl := gr.ctl
 	deadlined := timeout > 0 && gr.idx > 0
 	var started time.Time
-	if deadlined {
+	if deadlined && ctl == nil {
 		started = time.Now()
+	}
+	if ctl != nil {
+		ctl.Yield(sched.PointGroupStart, gr.lane)
 	}
 	if ob != nil {
 		ob.GroupsStarted.Inc()
@@ -738,17 +871,30 @@ func (d *Dependence[I, S, O]) executeGroup(r *rng.Source, inputs []I, gr *groupR
 	outs := make([]O, 0, length)
 	gr.checkpointAt = checkpointAt
 	for idx := gr.start; idx < gr.end; idx++ {
+		if ctl != nil {
+			// Yield before the abort-flag inspection, so the controller
+			// decides whether this step observes a concurrent squash.
+			ctl.Yield(sched.PointGroupStep, gr.lane)
+		}
 		if gr.aborted.Load() {
 			// Squashed: record what we have; it will be discarded.
 			break
 		}
 		if deadlined {
-			if elapsed := time.Since(started); elapsed > timeout {
+			expired := false
+			var elapsedNS int64
+			if ctl != nil {
+				expired = ctl.Choose(sched.PointTimeoutCheck, gr.lane, 2) == 1
+			} else if elapsed := time.Since(started); elapsed > timeout {
+				expired = true
+				elapsedNS = elapsed.Nanoseconds()
+			}
+			if expired {
 				// Deadline exceeded: squash exactly like a validation
 				// mismatch. Only this lane is marked; the coordinator's
 				// boundary inspection squashes the successors.
 				gr.failure = failTimeout
-				gr.failArg = elapsed.Nanoseconds()
+				gr.failArg = elapsedNS
 				gr.aborted.Store(true)
 				break
 			}
@@ -760,6 +906,9 @@ func (d *Dependence[I, S, O]) executeGroup(r *rng.Source, inputs []I, gr *groupR
 		o, s = d.compute(r.Split(), inputs[idx], s)
 		invocations.Add(1)
 		outs = append(outs, o)
+	}
+	if ctl != nil {
+		ctl.Yield(sched.PointGroupFinish, gr.lane)
 	}
 	gr.base = execution[S, O]{outputs: outs, final: s}
 	if ob != nil {

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+var updateSchedules = flag.Bool("update-schedules", false,
+	"re-record the golden adversarial schedules in testdata/schedules")
+
+// Golden adversarial schedules: interleavings random exploration rarely
+// (or never) produces, committed as replayable traces. Each golden couples
+// a fixed engine harness with a trace crafted from a recorded run by
+// reordering entries within the feasibility rules (per-lane program order
+// is preserved; cross-lane order is the schedule). `go test -run
+// TestGoldenSchedules -update-schedules ./internal/core` re-records them.
+
+const goldenDir = "../../testdata/schedules"
+
+// goldenHarness runs the fixed Workers=1 engine configuration for a
+// golden under the given controller and returns the run's rendering and
+// stats. Workers=1 keeps every decision point engine-owned (a one-shard
+// pool has no steal alternatives), so crafted traces stay exactly
+// replayable.
+func goldenHarness(aux Aux[int, walkState], timeout time.Duration) func(ctl sched.Controller) (string, Stats) {
+	inputs := seqInputs(24)
+	return func(ctl sched.Controller) (string, Stats) {
+		d := New(deterministicCompute, aux, walkOps())
+		outs, final, st := d.Run(inputs, walkState{}, Options{
+			UseAux: true, GroupSize: 4, Window: 24, Workers: 1,
+			RedoMax: 1, Rollback: 4, Seed: 77,
+			GroupTimeout: timeout, Sched: ctl,
+		})
+		return renderRun(outs, final), st
+	}
+}
+
+func goldenSequential(timeout time.Duration) string {
+	inputs := seqInputs(24)
+	d := New(deterministicCompute, nil, walkOps())
+	outs, final, _ := d.Run(inputs, walkState{}, Options{Seed: 77})
+	_ = timeout
+	return renderRun(outs, final)
+}
+
+// craftAllFinishBeforeValidate reorders a recorded exact-aux run so every
+// group-lane admission recorded after the coordinator's first validate is
+// pulled ahead of it: maximal validation laziness, with the whole
+// speculative window complete before any boundary is checked. Entries
+// before the first validate keep their recorded positions (they include
+// the coordinator waits the groups raced against), so per-lane program
+// order — the feasibility invariant — is untouched.
+func craftAllFinishBeforeValidate(rec *sched.Trace) *sched.Trace {
+	out := &sched.Trace{Seed: rec.Seed, Controller: "crafted",
+		Note: "all groups finish before the first validate"}
+	firstValidate := -1
+	for i, e := range rec.Entries {
+		if e.Point == sched.PointValidate && e.Lane == 0 {
+			firstValidate = i
+			break
+		}
+	}
+	if firstValidate < 0 {
+		return out
+	}
+	out.Entries = append(out.Entries, rec.Entries[:firstValidate]...)
+	for _, e := range rec.Entries[firstValidate:] {
+		if e.Lane > 0 {
+			out.Entries = append(out.Entries, e)
+		}
+	}
+	for _, e := range rec.Entries[firstValidate:] {
+		if e.Lane <= 0 {
+			out.Entries = append(out.Entries, e)
+		}
+	}
+	return out
+}
+
+// craftLateGroupsPastSquash holds every lane >= fromLane back until after
+// the coordinator's squash: the squashed groups observe the abort before
+// running a single step, so each one's admissions collapse to exactly
+// group-start, one group-step (which sees the flag and breaks), and
+// group-finish — the crafted trace substitutes that triple for whatever
+// the lanes recorded. All held lanes move together because one worker
+// executes their tasks in queue order: freeing lane L while holding lane
+// L-1 would be infeasible.
+func craftLateGroupsPastSquash(rec *sched.Trace, fromLane int) *sched.Trace {
+	out := &sched.Trace{Seed: rec.Seed, Controller: "crafted",
+		Note: "groups admitted only after the squash they must observe"}
+	squash := -1
+	lanes := map[int]bool{}
+	for i, e := range rec.Entries {
+		if squash < 0 && e.Point == sched.PointSquash {
+			squash = i
+		}
+		if e.Lane >= fromLane {
+			lanes[e.Lane] = true
+		}
+	}
+	if squash < 0 {
+		return out
+	}
+	ordered := make([]int, 0, len(lanes))
+	for l := range lanes {
+		ordered = append(ordered, l)
+	}
+	sort.Ints(ordered)
+	for i, e := range rec.Entries {
+		if e.Lane >= fromLane {
+			continue
+		}
+		out.Entries = append(out.Entries, e)
+		if i == squash {
+			for _, l := range ordered {
+				out.Entries = append(out.Entries,
+					sched.Entry{Kind: sched.KindYield, Point: sched.PointGroupStart, Lane: l},
+					sched.Entry{Kind: sched.KindYield, Point: sched.PointGroupStep, Lane: l},
+					sched.Entry{Kind: sched.KindYield, Point: sched.PointGroupFinish, Lane: l},
+				)
+			}
+		}
+	}
+	return out
+}
+
+func TestGoldenSchedules(t *testing.T) {
+	exactHarness := goldenHarness(exactAuxFor(seqInputs(24)), 0)
+	badHarness := goldenHarness(badAux, 0)
+	timeoutHarness := goldenHarness(exactAuxFor(seqInputs(24)), time.Millisecond)
+
+	goldens := []struct {
+		name   string
+		record func(t *testing.T) *sched.Trace
+		check  func(t *testing.T, tr *sched.Trace)
+	}{
+		{
+			name: "all-finish-before-validate",
+			record: func(t *testing.T) *sched.Trace {
+				rec := sched.NewRandom(3, sched.WithRecording())
+				exactHarness(rec)
+				return craftAllFinishBeforeValidate(rec.TraceCopy())
+			},
+			check: func(t *testing.T, tr *sched.Trace) {
+				rep := sched.NewReplay(tr)
+				got, st := exactHarness(rep)
+				if want := goldenSequential(0); got != want {
+					t.Fatalf("output diverged:\n got %s\nwant %s", got, want)
+				}
+				if st.Aborts != 0 || st.Matches != st.Groups-1 {
+					t.Fatalf("lazy validation changed outcomes: %+v", st)
+				}
+				assertExactReplay(t, rep)
+			},
+		},
+		{
+			name: "squash-before-first-step",
+			record: func(t *testing.T) *sched.Trace {
+				rec := sched.NewRandom(4, sched.WithRecording())
+				_, st := badHarness(rec)
+				if st.Aborts == 0 {
+					t.Fatal("bad-aux recording did not abort")
+				}
+				return craftLateGroupsPastSquash(rec.TraceCopy(), 3)
+			},
+			check: func(t *testing.T, tr *sched.Trace) {
+				rep := sched.NewReplay(tr)
+				got, st := badHarness(rep)
+				if want := goldenSequential(0); got != want {
+					t.Fatalf("output diverged:\n got %s\nwant %s", got, want)
+				}
+				if st.Aborts == 0 || st.SquashedInputs == 0 || st.FallbackInputs == 0 {
+					t.Fatalf("crafted squash did not exercise abort/fallback: %+v", st)
+				}
+				assertExactReplay(t, rep)
+			},
+		},
+		{
+			name: "forced-timeout-squash",
+			record: func(t *testing.T) *sched.Trace {
+				rec := sched.NewRandom(5, sched.WithRecording(), sched.WithForcedTimeouts(1))
+				_, st := timeoutHarness(rec)
+				if st.TimedOutGroups == 0 {
+					t.Fatal("forced-timeout recording timed out no groups")
+				}
+				tr := rec.TraceCopy()
+				tr.Note = "every deadline check fires: timeout-vs-validate race, timeout wins"
+				return tr
+			},
+			check: func(t *testing.T, tr *sched.Trace) {
+				rep := sched.NewReplay(tr)
+				got, st := timeoutHarness(rep)
+				if want := goldenSequential(time.Millisecond); got != want {
+					t.Fatalf("output diverged:\n got %s\nwant %s", got, want)
+				}
+				if st.TimedOutGroups == 0 || st.FallbackInputs == 0 {
+					t.Fatalf("replay lost the forced timeout: %+v", st)
+				}
+				assertExactReplay(t, rep)
+			},
+		},
+		{
+			name: "breaker-halfopen-denied",
+			record: func(t *testing.T) *sched.Trace {
+				rec := sched.NewRandom(1, sched.WithRecording())
+				if halfOpenRace(t, rec) {
+					t.Fatal("natural half-open recording denied the probe")
+				}
+				return craftDeniedTrace(rec.TraceCopy())
+			},
+			check: func(t *testing.T, tr *sched.Trace) {
+				rep := sched.NewReplay(tr)
+				if !halfOpenRace(t, rep) {
+					t.Fatal("crafted schedule did not deny the half-open probe")
+				}
+				if rep.Stalls() != 0 {
+					t.Fatalf("crafted replay needed %d stall force-admissions", rep.Stalls())
+				}
+			},
+		},
+	}
+
+	for _, g := range goldens {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			path := filepath.Join(goldenDir, g.name+".trace")
+			if *updateSchedules {
+				tr := g.record(t)
+				if len(tr.Entries) == 0 {
+					t.Fatalf("recorded empty trace for %s", g.name)
+				}
+				if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := tr.WriteFile(path); err != nil {
+					t.Fatal(err)
+				}
+			}
+			tr, err := sched.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (generate with -update-schedules)", err)
+			}
+			g.check(t, tr)
+		})
+	}
+}
+
+func assertExactReplay(t *testing.T, rep *sched.Replay) {
+	t.Helper()
+	if rep.Stalls() != 0 {
+		t.Fatalf("replay needed %d stall force-admissions", rep.Stalls())
+	}
+	if rep.Divergences() != 0 || rep.Remaining() != 0 {
+		t.Fatalf("replay not exact: %d divergences, %d entries unconsumed",
+			rep.Divergences(), rep.Remaining())
+	}
+}

@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExploreQuick(t *testing.T) {
+	schedules, replayEvery := 2, 1
+	if raceEnabled {
+		// Gate-serialized runs magnify race instrumentation; one schedule
+		// per row keeps the package inside the test timeout while still
+		// exercising every row end to end.
+		schedules, replayEvery = 1, 2
+	}
+	e := NewEnv(true)
+	rows, err := ExploreRun(e, ExploreConfig{
+		SchedulesPerRow: schedules, ReplayEvery: replayEvery, DumpDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 7 {
+		t.Fatalf("expected six workloads plus synthetic fault rows, got %d", len(rows))
+	}
+	sawSynthetic := false
+	for _, r := range rows {
+		if r.Failures != 0 {
+			t.Errorf("%s: %d schedules broke the output contract", r.Name, r.Failures)
+		}
+		if r.Schedules != schedules {
+			t.Errorf("%s: ran %d schedules, want %d", r.Name, r.Schedules, schedules)
+		}
+		if want := (schedules + replayEvery - 1) / replayEvery; r.Replays != want {
+			t.Errorf("%s: verified %d replays, want %d", r.Name, r.Replays, want)
+		}
+		if r.Stalls != 0 {
+			t.Errorf("%s: %d stall force-admissions (unwrapped blocking op)", r.Name, r.Stalls)
+		}
+		if r.Distinct < 1 || r.Distinct > r.Schedules {
+			t.Errorf("%s: distinct=%d out of range", r.Name, r.Distinct)
+		}
+		if strings.HasPrefix(r.Name, "synthetic ") {
+			sawSynthetic = true
+		}
+	}
+	if !sawSynthetic {
+		t.Error("no synthetic fault-injection rows")
+	}
+}
+
+func TestExploreTableRenders(t *testing.T) {
+	if raceEnabled {
+		t.Skip("rendering is covered without the race detector; the campaign itself runs in TestExploreQuick")
+	}
+	e := NewEnv(true)
+	tb, err := ExploreTable(e, ExploreConfig{
+		SchedulesPerRow: 2, ReplayEvery: 2, DumpDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"Explore", "schedules", "failures", "distinct interleavings"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

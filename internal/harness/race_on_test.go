@@ -1,0 +1,8 @@
+//go:build race
+
+package harness
+
+// raceEnabled scales the exploration tests down under the race detector:
+// gate-serialized schedules magnify race-instrumentation overhead, and
+// the full sweep belongs to the normal-mode suite and `make explore`.
+const raceEnabled = true

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/sched"
 	"repro/internal/tradeoff"
 )
 
@@ -61,6 +62,13 @@ type SpecOptions struct {
 	// Breaker, when non-nil, gates speculation across this workload's
 	// engine runs with a shared abort-rate circuit breaker.
 	Breaker *core.Breaker
+	// Sched, when non-nil, routes the engine's nondeterministic decision
+	// points through a controlled scheduler (internal/sched) for real
+	// RunSTATS executions — systematic exploration and trace replay.
+	Sched sched.Controller
+	// SchedLane is the base lane for the run's gate participants; see
+	// core.Options.SchedLane.
+	SchedLane int
 }
 
 // CoreOptions lowers the engine-relevant fields of o (plus the run seed)
@@ -79,6 +87,8 @@ func (o SpecOptions) CoreOptions(seed uint64) core.Options {
 		GroupTimeout: o.GroupTimeout,
 		Breaker:      o.Breaker,
 		Obs:          o.Obs,
+		Sched:        o.Sched,
+		SchedLane:    o.SchedLane,
 	}
 }
 
