@@ -37,10 +37,11 @@ bench-pool:
 
 # Hot-path benchmark snapshot: the telemetry scrape-under-load and Emit
 # microbenchmarks plus the engine's speculative run with the controlled
-# scheduler off (nil fast path) and on, written to BENCH_pr6.json (the
-# checked-in regression reference continuing BENCH_pr4.json).
+# scheduler off (nil fast path) and on, and the deterministic-reservations
+# protocol (whole-state and slotted), written to BENCH_pr7.json (the
+# checked-in regression reference continuing BENCH_pr6.json).
 bench:
-	$(GO) run ./cmd/statsbench -out BENCH_pr6.json
+	$(GO) run ./cmd/statsbench -out BENCH_pr7.json
 
 # Full evaluation benchmarks (paper tables/figures). STATS_QUICK=1 scales
 # budgets down for smoke runs.

@@ -1,13 +1,15 @@
 // Command statsbench runs the repository's hot-path microbenchmarks
 // through `go test -bench` and writes the parsed results as a JSON
-// document — the checked-in BENCH_pr6.json snapshot (continuing
-// BENCH_pr4.json) that records the telemetry scrape/Emit costs plus the
+// document — the checked-in BENCH_pr7.json snapshot (continuing
+// BENCH_pr6.json) that records the telemetry scrape/Emit costs, the
 // engine's speculative path with the controlled scheduler disabled (the
-// nil fast path a sched change must not regress) and enabled.
+// nil fast path a sched change must not regress) and enabled, and the
+// deterministic-reservations protocol in its whole-state and slotted
+// shapes.
 //
 // Usage:
 //
-//	statsbench                     # write BENCH_pr6.json in the cwd
+//	statsbench                     # write BENCH_pr7.json in the cwd
 //	statsbench -out results.json   # elsewhere
 //	statsbench -benchtime 100x     # quicker smoke run
 package main
@@ -58,11 +60,11 @@ type BenchDoc struct {
 var suites = []struct{ pkg, pattern string }{
 	{"./internal/telemetry", "BenchmarkMetricsScrapeUnderLoad|BenchmarkEmitWithSSEClient|BenchmarkEmitDisabledObserver|BenchmarkBuildSpans"},
 	{"./internal/obs", "BenchmarkEmitDisabled$|BenchmarkEmitEnabled|BenchmarkObserverDisabledGroupPath"},
-	{"./internal/core", "BenchmarkEngineSpeculative$|BenchmarkEngineControlledSched$"},
+	{"./internal/core", "BenchmarkEngineSpeculative$|BenchmarkEngineControlledSched$|BenchmarkEngineReservations$"},
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr6.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr7.json", "output JSON path")
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
 	flag.Parse()
 

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	statsrun -workload bodytrack -size 32 -aux -group 8 -window 3 -redo 2 -rollback 2 -workers 8
+//	statsrun -workload swaptions -aux -protocol reservations   # deterministic reservations
 //	statsrun -workload canneal            # the statically rejected benchmark
 //	statsrun -workload swaptions -aux -serve :8080 -repeat 0   # serve telemetry, run forever
 //	statsrun -list
@@ -26,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
@@ -43,6 +45,7 @@ func main() {
 	redo := flag.Int("redo", 2, "max original-producer re-executions")
 	rollback := flag.Int("rollback", 2, "inputs to go back per re-execution")
 	workers := flag.Int("workers", 8, "runtime worker-pool width")
+	protocol := flag.String("protocol", "aux", "speculation protocol: aux (auxiliary code + validation) or reservations (deterministic reserve/check/commit rounds)")
 	serve := flag.String("serve", "", "serve HTTP telemetry at this address (e.g. :8080) during the run")
 	repeat := flag.Int("repeat", 1, "with -serve, how many times to run the workload (0 = until interrupted)")
 	pprofFlag := flag.Bool("pprof", false, "with -serve, also mount net/http/pprof under /debug/pprof/")
@@ -65,8 +68,15 @@ func main() {
 		fmt.Println("falling back to conventional execution")
 	}
 
+	proto, ok := core.ParseProtocol(*protocol)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "statsrun: unknown protocol %q (want aux or reservations)\n", *protocol)
+		os.Exit(2)
+	}
+
 	so := workload.SpecOptions{
 		UseAux:    *aux,
+		Protocol:  proto,
 		GroupSize: *group,
 		Window:    *window,
 		RedoMax:   *redo,
@@ -89,6 +99,9 @@ func main() {
 	fmt.Printf("speculative commits:  %d inputs\n", st.SpeculativeCommits)
 	fmt.Printf("matches / redos:      %d / %d\n", st.Matches, st.Redos)
 	fmt.Printf("aborts / squashed:    %d / %d inputs\n", st.Aborts, st.SquashedInputs)
+	if proto == core.ProtocolReservations {
+		fmt.Printf("rounds / conflicts:   %d / %d\n", st.Rounds, st.ReservationConflicts)
+	}
 	fmt.Printf("invocations (useful): %d (%d)\n", st.Invocations, st.UsefulInvocations)
 	fmt.Printf("aux calls / inputs:   %d / %d\n", st.AuxCalls, st.AuxInputs)
 	fmt.Printf("output distance from oracle (%s metric): %.6g\n", d.Name, res.Distance(oracle))

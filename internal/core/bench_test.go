@@ -129,6 +129,64 @@ func BenchmarkEngineControlledSched(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineReservations prices the deterministic-reservations
+// protocol on the same near-free compute as the aux benchmarks, in its
+// two shapes: whole-state (nil ReserveOps — one winner per round, the
+// protocol's overhead floor) and slotted (8 disjoint slots, so rounds
+// commit many winners and the reservation table earns its keep).
+func BenchmarkEngineReservations(b *testing.B) {
+	inputs := benchInputs(1024)
+	opts := Options{
+		UseAux: true, Protocol: ProtocolReservations,
+		GroupSize: 64, Workers: 8,
+	}
+	b.Run("whole-state", func(b *testing.B) {
+		d := New(cheapCompute, nil, walkOps())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o := opts
+			o.Seed = uint64(i)
+			d.Run(inputs, walkState{}, o)
+		}
+	})
+	b.Run("slotted", func(b *testing.B) {
+		d := New(benchSlotCompute, nil, benchSlotOps()).WithReserve(ReserveOps[int, []float64]{
+			NumSlots:  func(s []float64) int { return len(s) },
+			Footprint: func(in int, _ []float64) []int { return []int{in % 8} },
+			Merge: func(dst, src []float64, slots []int) []float64 {
+				for _, sl := range slots {
+					dst[sl] = src[sl]
+				}
+				return dst
+			},
+		})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o := opts
+			o.Seed = uint64(i)
+			d.Run(inputs, make([]float64, 8), o)
+		}
+	})
+}
+
+func benchSlotCompute(r *rng.Source, in int, s []float64) (int, []float64) {
+	s[in%8] += float64(in)
+	return in, s
+}
+
+func benchSlotOps() StateOps[[]float64] {
+	return StateOps[[]float64]{
+		Clone: func(s []float64) []float64 {
+			c := make([]float64, len(s))
+			copy(c, s)
+			return c
+		},
+		MatchAny: func([]float64, [][]float64) bool { return false },
+	}
+}
+
 func BenchmarkRNGSplit(b *testing.B) {
 	r := rng.New(1)
 	b.ReportAllocs()

@@ -58,8 +58,14 @@ type StateOps[S any] struct {
 // space dimensions (§3.3) chosen by the autotuner.
 type Options struct {
 	// UseAux enables speculation. When false the dependence is satisfied
-	// conventionally (the paper's baseline).
+	// conventionally (the paper's baseline) under either protocol.
 	UseAux bool
+	// Protocol selects how the run parallelizes the input chain:
+	// ProtocolAux (the zero value) is the paper's aux-state speculation;
+	// ProtocolReservations is the deterministic reserve/check/commit
+	// protocol of reservations.go, which needs no auxiliary code and no
+	// validation — sequential order is preserved by construction.
+	Protocol Protocol
 	// GroupSize is the input-group cardinality G. Values below 1 are
 	// treated as 1.
 	GroupSize int
@@ -163,6 +169,14 @@ type Stats struct {
 	// It is an int so aggregation across runs counts denials.
 	BreakerDenied int
 
+	// Rounds counts reserve/check/commit rounds executed by the
+	// deterministic-reservations protocol, summed over the run's groups
+	// (0 under ProtocolAux).
+	Rounds int
+	// ReservationConflicts counts inputs that lost a reserved slot to a
+	// lower-indexed input and carried forward into a later round.
+	ReservationConflicts int
+
 	// Scheduler counters, deltas over this run of the worker pool's
 	// sharded work-stealing dispatcher (§3.4 runtime). Steals are
 	// cross-worker dispatches, LocalHits the contention-free local-deque
@@ -181,6 +195,10 @@ type Dependence[I, S, O any] struct {
 	compute Compute[I, S, O]
 	aux     Aux[I, S]
 	ops     StateOps[S]
+	// reserve, when non-nil, decomposes the state into slots for the
+	// deterministic-reservations protocol (WithReserve); nil falls back
+	// to a whole-state single slot.
+	reserve *ReserveOps[I, S]
 }
 
 // New returns a Dependence. compute and ops.Clone must be non-nil; aux and
@@ -273,7 +291,9 @@ func (d *Dependence[I, S, O]) runAll(inputs []I, initial S, opts Options, emit E
 	if g < 1 {
 		g = 1
 	}
-	speculating := opts.UseAux && d.aux != nil && g < len(inputs)
+	// Reservations need no auxiliary code; aux speculation does.
+	speculating := opts.UseAux && g < len(inputs) &&
+		(opts.Protocol == ProtocolReservations || d.aux != nil)
 	if speculating && opts.Breaker != nil {
 		if ctl != nil {
 			ctl.Yield(sched.PointBreakerAllow, opts.SchedLane)
@@ -292,7 +312,19 @@ func (d *Dependence[I, S, O]) runAll(inputs []I, initial S, opts Options, emit E
 		st.Groups = 1
 		return outs, final, st
 	}
-	outs, final, stats := d.runSpeculative(root, inputs, initial, g, opts, &st, emit)
+	var (
+		outs  []O
+		final S
+		stats Stats
+	)
+	switch opts.Protocol {
+	case ProtocolAux:
+		outs, final, stats = d.runSpeculative(root, inputs, initial, g, opts, &st, emit)
+	case ProtocolReservations:
+		outs, final, stats = d.runReservations(root, inputs, initial, g, opts, &st, emit)
+	default:
+		panic(fmt.Sprintf("core: unknown protocol %d", opts.Protocol))
+	}
 	if opts.Breaker != nil {
 		if ctl != nil {
 			ctl.Yield(sched.PointBreakerRecord, opts.SchedLane)

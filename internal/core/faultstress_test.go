@@ -28,17 +28,25 @@ func TestFaultStressRace(t *testing.T) {
 		{name: "compute-once", computeOnce: true},
 		{name: "everything", auxRate: 0.15, garbageRate: 0.15, computeOnce: true, slowInputs: true},
 	}
-	for _, workers := range []int{1, 4, 8} {
-		for _, redoMax := range []int{0, 2} {
-			for _, timeout := range []time.Duration{0, 500 * time.Microsecond} {
-				for _, m := range mixes {
-					workers, redoMax, timeout, m := workers, redoMax, timeout, m
-					name := fmt.Sprintf("%s/w%d/r%d/t%v", m.name, workers, redoMax, timeout)
-					t.Run(name, func(t *testing.T) {
-						t.Parallel()
-						stressOne(t, workers, redoMax, timeout, m.auxRate,
-							m.garbageRate, m.computeOnce, m.slowInputs)
-					})
+	for _, proto := range []Protocol{ProtocolAux, ProtocolReservations} {
+		for _, workers := range []int{1, 4, 8} {
+			for _, redoMax := range []int{0, 2} {
+				for _, timeout := range []time.Duration{0, 500 * time.Microsecond} {
+					for _, m := range mixes {
+						if proto == ProtocolReservations && !m.computeOnce && !m.slowInputs {
+							// Aux and garbage faults have no aux to land on
+							// under reservations; those cells would be
+							// fault-free reruns.
+							continue
+						}
+						proto, workers, redoMax, timeout, m := proto, workers, redoMax, timeout, m
+						name := fmt.Sprintf("%s/%s/w%d/r%d/t%v", proto, m.name, workers, redoMax, timeout)
+						t.Run(name, func(t *testing.T) {
+							t.Parallel()
+							stressOne(t, proto, workers, redoMax, timeout, m.auxRate,
+								m.garbageRate, m.computeOnce, m.slowInputs)
+						})
+					}
 				}
 			}
 		}
@@ -46,7 +54,7 @@ func TestFaultStressRace(t *testing.T) {
 }
 
 // stressOne runs one injected configuration and checks the §3.1 contract.
-func stressOne(t *testing.T, workers, redoMax int, timeout time.Duration, auxRate, garbageRate float64, computeOnce, slowInputs bool) {
+func stressOne(t *testing.T, proto Protocol, workers, redoMax int, timeout time.Duration, auxRate, garbageRate float64, computeOnce, slowInputs bool) {
 	const n = 96
 	inputs := seqInputs(n)
 	in := fault.New(fault.Config{
@@ -73,7 +81,7 @@ func stressOne(t *testing.T, workers, redoMax int, timeout time.Duration, auxRat
 	}
 	d := New(compute, aux, walkOps())
 	outs, final, st, err := d.RunChecked(inputs, walkState{}, Options{
-		UseAux: true, GroupSize: 8, Window: n, RedoMax: redoMax,
+		UseAux: true, Protocol: proto, GroupSize: 8, Window: n, RedoMax: redoMax,
 		Rollback: 4, Workers: workers, Seed: 0xFA17, GroupTimeout: timeout,
 	})
 	if err != nil {

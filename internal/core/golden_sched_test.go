@@ -2,12 +2,15 @@ package core
 
 import (
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"testing"
 	"time"
 
+	"repro/internal/pool"
+	"repro/internal/rng"
 	"repro/internal/sched"
 )
 
@@ -130,6 +133,81 @@ func craftLateGroupsPastSquash(rec *sched.Trace, fromLane int) *sched.Trace {
 	return out
 }
 
+// resvGoldenHarness runs the reservations protocol at Workers=2 over an
+// external, uncontrolled pool: the recorded decision points are then only
+// the engine's own reserve/check/commit yields, whose counts are
+// schedule-independent (write-min is commutative, so the pending sets and
+// round structure never depend on admission order) — which is what makes
+// crafted traces exactly replayable at real parallelism. A nil footprint
+// uses the built-in whole-state slot (every lane reserves slot 0).
+func resvGoldenHarness(fp func(in int) []int) func(ctl sched.Controller) (string, Stats) {
+	inputs := seqInputs(12)
+	compute := func(_ *rng.Source, in int, s []float64) (int, []float64) {
+		s[in%2] += float64(in)
+		return in * 2, s
+	}
+	ops := StateOps[[]float64]{
+		Clone: func(s []float64) []float64 {
+			cp := make([]float64, len(s))
+			copy(cp, s)
+			return cp
+		},
+	}
+	return func(ctl sched.Controller) (string, Stats) {
+		p := pool.NewSeeded(2, 7)
+		defer p.Close()
+		d := New(compute, nil, ops)
+		if fp != nil {
+			d.WithReserve(ReserveOps[int, []float64]{
+				NumSlots:  func(initial []float64) int { return len(initial) },
+				Footprint: func(in int, _ []float64) []int { return fp(in) },
+				Merge: func(dst, src []float64, slots []int) []float64 {
+					for _, sl := range slots {
+						dst[sl] = src[sl]
+					}
+					return dst
+				},
+			})
+		}
+		opts := Options{
+			UseAux: true, Protocol: ProtocolReservations,
+			GroupSize: 6, Workers: 2, Seed: 77, Pool: p, Sched: ctl,
+		}
+		if ctl == nil {
+			opts.UseAux = false // sequential reference, same shape
+		}
+		outs, final, st := d.Run(inputs, make([]float64, 2), opts)
+		return fmt.Sprintf("%v|%v", outs, final), st
+	}
+}
+
+// craftWaveLanesDescending reorders every maximal consecutive run of
+// entries at the given point so higher lanes are admitted first. Per-lane
+// program order is untouched (the sort is stable and only crosses lanes),
+// and a run of same-point entries is always one wave — waves are barriers,
+// so two waves of the same point are separated by the other phase's
+// entries — which keeps the crafted trace feasible.
+func craftWaveLanesDescending(rec *sched.Trace, point sched.Point, note string) *sched.Trace {
+	out := &sched.Trace{Seed: rec.Seed, Controller: "crafted", Note: note}
+	i := 0
+	for i < len(rec.Entries) {
+		if rec.Entries[i].Point != point {
+			out.Entries = append(out.Entries, rec.Entries[i])
+			i++
+			continue
+		}
+		j := i
+		for j < len(rec.Entries) && rec.Entries[j].Point == point {
+			j++
+		}
+		run := append([]sched.Entry{}, rec.Entries[i:j]...)
+		sort.SliceStable(run, func(a, b int) bool { return run[a].Lane > run[b].Lane })
+		out.Entries = append(out.Entries, run...)
+		i = j
+	}
+	return out
+}
+
 func TestGoldenSchedules(t *testing.T) {
 	exactHarness := goldenHarness(exactAuxFor(seqInputs(24)), 0)
 	badHarness := goldenHarness(badAux, 0)
@@ -201,6 +279,71 @@ func TestGoldenSchedules(t *testing.T) {
 				}
 				if st.TimedOutGroups == 0 || st.FallbackInputs == 0 {
 					t.Fatalf("replay lost the forced timeout: %+v", st)
+				}
+				assertExactReplay(t, rep)
+			},
+		},
+		{
+			// Every input reserves the same slot (the built-in whole-state
+			// footprint): the crafted trace admits the higher lane's entire
+			// reserve half before the lower lane writes a single cell, so
+			// write-min sees the worst arrival order every round. The
+			// winner set — and therefore the output — must not move.
+			name: "resv-all-lanes-reserve-same-slot",
+			record: func(t *testing.T) *sched.Trace {
+				h := resvGoldenHarness(nil)
+				rec := sched.NewRandom(6, sched.WithRecording())
+				_, st := h(rec)
+				if st.Rounds == 0 {
+					t.Fatal("recording never entered the reservations protocol")
+				}
+				return craftWaveLanesDescending(rec.TraceCopy(), sched.PointReserve,
+					"whole-state conflict: high lane reserves fully before low lane")
+			},
+			check: func(t *testing.T, tr *sched.Trace) {
+				h := resvGoldenHarness(nil)
+				rep := sched.NewReplay(tr)
+				got, st := h(rep)
+				if want, _ := h(nil); got != want {
+					t.Fatalf("output diverged:\n got %s\nwant %s", got, want)
+				}
+				// Total conflict commits exactly one input per round: each
+				// 6-input group needs 6 rounds and 5+4+3+2+1 carry-forwards.
+				if st.Rounds != 12 || st.ReservationConflicts != 30 {
+					t.Fatalf("adversarial reserve order changed the round structure: %+v", st)
+				}
+				assertExactReplay(t, rep)
+			},
+		},
+		{
+			// Alternating two-slot footprints: every round commits one
+			// winner per slot while the rest carry forward. The crafted
+			// trace admits the losing lane's whole check half first, so
+			// every carry-forward decision lands before the winners even
+			// check their slots — the commit races the carry-forward and
+			// must not see it.
+			name: "resv-commit-racing-carry-forward",
+			record: func(t *testing.T) *sched.Trace {
+				h := resvGoldenHarness(func(in int) []int { return []int{in % 2} })
+				rec := sched.NewRandom(8, sched.WithRecording())
+				_, st := h(rec)
+				if st.ReservationConflicts == 0 {
+					t.Fatal("recording saw no reservation conflicts")
+				}
+				return craftWaveLanesDescending(rec.TraceCopy(), sched.PointReserveCheck,
+					"losers' checks admitted before the winners' compute-and-commit")
+			},
+			check: func(t *testing.T, tr *sched.Trace) {
+				h := resvGoldenHarness(func(in int) []int { return []int{in % 2} })
+				rep := sched.NewReplay(tr)
+				got, st := h(rep)
+				if want, _ := h(nil); got != want {
+					t.Fatalf("output diverged:\n got %s\nwant %s", got, want)
+				}
+				// Two winners per round (one per slot): each 6-input group
+				// resolves in 3 rounds with 4+2 carry-forwards.
+				if st.Rounds != 6 || st.ReservationConflicts != 12 {
+					t.Fatalf("adversarial check order changed the round structure: %+v", st)
 				}
 				assertExactReplay(t, rep)
 			},

@@ -1,0 +1,18 @@
+//go:build !race
+
+package core_test
+
+// Differential-suite sizing for the plain tier (see protodiff_race_on_test.go).
+const (
+	protodiffSeeds         = 8
+	protodiffWorkloadSeeds = 8
+)
+
+// protodiffWorkloadGrid is the engine-shape grid the workload sweep runs;
+// the race tier trims it to one point.
+var protodiffWorkloadGrid = []struct {
+	g, win, workers int
+}{
+	{4, 2, 2},
+	{8, 2, 4},
+}

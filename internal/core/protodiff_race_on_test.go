@@ -1,0 +1,17 @@
+//go:build race
+
+package core_test
+
+// The race detector slows the workload sweep by an order of magnitude;
+// the differential contract is seed-uniform, so the race tier keeps full
+// interleaving coverage with fewer seeds and one grid point.
+const (
+	protodiffSeeds         = 3
+	protodiffWorkloadSeeds = 2
+)
+
+var protodiffWorkloadGrid = []struct {
+	g, win, workers int
+}{
+	{8, 2, 4},
+}

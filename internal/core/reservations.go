@@ -1,0 +1,650 @@
+// Deterministic-reservations protocol: the engine's second speculation
+// mode (ROADMAP "Second speculation protocol"), adapted from parlaylib's
+// speculative_for ("Internally deterministic parallel algorithms can be
+// fast"). Where the aux protocol guesses a group's start state and
+// validates it after the fact, reservations never guess: each group's
+// pending inputs run rounds of
+//
+//	reserve — every pending input write-mins its index into the state
+//	          slots its footprint touches;
+//	check   — an input still holding the minimum on all its slots wins
+//	          and runs the compute from the round's snapshot;
+//	commit  — the coordinator merges the winners' states in ascending
+//	          input order and retires their outputs; losers carry
+//	          forward into the next round.
+//
+// The lowest pending index always wins every slot it reserves, so each
+// round commits at least one input and the protocol terminates with no
+// aux code, no validation and no redo: sequential order is preserved by
+// construction. Every input's random stream is pre-split on the
+// coordinator in input order and attempts receive value copies, so the
+// outputs are byte-identical to the sequential baseline — including under
+// contained panics, deadlines and breaker denials — as long as the
+// footprint contract holds (see ReserveOps).
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pool"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+// Protocol selects the engine's speculation protocol.
+type Protocol int
+
+const (
+	// ProtocolAux is the paper's §3.1 aux-state speculation: speculative
+	// start states from auxiliary code, validated at group boundaries.
+	ProtocolAux Protocol = iota
+	// ProtocolReservations is the deterministic reserve/check/commit
+	// protocol: priority-ordered slot reservations, lower-indexed inputs
+	// win conflicts, losers carry forward.
+	ProtocolReservations
+)
+
+// String returns the protocol's stable name.
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolAux:
+		return "aux"
+	case ProtocolReservations:
+		return "reservations"
+	}
+	return fmt.Sprintf("protocol(%d)", int(p))
+}
+
+// ParseProtocol inverts String.
+func ParseProtocol(s string) (Protocol, bool) {
+	switch s {
+	case "aux":
+		return ProtocolAux, true
+	case "reservations":
+		return ProtocolReservations, true
+	}
+	return ProtocolAux, false
+}
+
+// ReserveOps decomposes a dependence's state into integer slots for the
+// reservations protocol. The developer contract mirrors MatchAny's role in
+// the aux protocol: Footprint must cover every slot the input's compute
+// reads or writes (reads included — a read of a slot a lower-indexed input
+// will write is a conflict), and computes with disjoint footprints must
+// commute, because the protocol merges winners' states out of sequential
+// order. Under that contract the run's outputs are byte-identical to the
+// sequential baseline.
+//
+// A Dependence without ReserveOps still supports ProtocolReservations via
+// a built-in whole-state single slot: every pending input conflicts, one
+// input commits per round, and parallelism degenerates to ordered rounds —
+// the honest result for states that cannot be decomposed.
+type ReserveOps[I, S any] struct {
+	// NumSlots returns the number of state slots, evaluated once per run
+	// on a clone of the initial state. Footprint results must stay in
+	// [0, NumSlots).
+	NumSlots func(initial S) int
+	// Footprint returns the slots the input's compute touches given the
+	// state snapshot it would run from. It must be deterministic in
+	// (in, s) and must not mutate s.
+	Footprint func(in I, s S) []int
+	// Merge copies the given slots of src into dst and returns the
+	// merged state. dst is a private clone; src is a winner's returned
+	// state; only the winner's footprint slots may be taken from it.
+	Merge func(dst, src S, slots []int) S
+}
+
+// WithReserve attaches reservation ops to the dependence, enabling
+// slot-level parallelism under ProtocolReservations. All three methods
+// are required; it returns d for chaining.
+func (d *Dependence[I, S, O]) WithReserve(ops ReserveOps[I, S]) *Dependence[I, S, O] {
+	if ops.NumSlots == nil || ops.Footprint == nil || ops.Merge == nil {
+		panic("core: WithReserve needs NumSlots, Footprint and Merge")
+	}
+	d.reserve = &ops
+	return d
+}
+
+// ReservationArg packs a reservation event's round (0-based within its
+// group) and input index into one trace argument: round<<32 | input.
+func ReservationArg(round, input int) int64 {
+	return int64(round)<<32 | int64(uint32(input))
+}
+
+// SplitReservationArg inverts ReservationArg.
+func SplitReservationArg(arg int64) (round, input int) {
+	return int(arg >> 32), int(uint32(arg))
+}
+
+// resvRun is the per-run state of one reservations execution.
+type resvRun[I, S, O any] struct {
+	d      *Dependence[I, S, O]
+	inputs []I
+	// srcs are the pre-split per-input random sources (by value: every
+	// attempt copies, so squashed attempts never consume the stream).
+	srcs []rng.Source
+	opts Options
+	o    *obs.Observer
+	ctl  sched.Controller
+	// coordLane is the coordinator's schedule lane; wave chunk c yields
+	// on coordLane+1+c.
+	coordLane int
+	lanes     int
+	p         *pool.Pool
+	poolBase  pool.Metrics
+	emit      Emit[O]
+	st        *Stats
+
+	// table is the reservation table, one write-min cell per state slot,
+	// reset to the sentinel len(inputs) before each reserve wave.
+	table []atomic.Int64
+	// failed holds the run's groupFailure (failNone while healthy):
+	// lanes CAS failPanic on contained panics, the coordinator stores
+	// failTimeout on an expired deadline.
+	failed  atomic.Int32
+	failArg int64
+
+	invocations atomic.Int64
+	// committed counts inputs committed by the protocol (not fallback).
+	committed int
+	shared    S
+	outs      []O
+}
+
+// runReservations executes the deterministic-reservations protocol. It is
+// the ProtocolReservations counterpart of runSpeculative, reached from
+// runAll with speculation admitted (UseAux set, g < len(inputs), breaker
+// allowing).
+func (d *Dependence[I, S, O]) runReservations(root *rng.Source, inputs []I, initial S, g int, opts Options, st *Stats, emit Emit[O]) ([]O, S, Stats) {
+	n := len(inputs)
+	numGroups := (n + g - 1) / g
+	st.Groups = numGroups
+
+	srcs := make([]rng.Source, n)
+	for i := range srcs {
+		srcs[i] = *root.Split()
+	}
+
+	r := &resvRun[I, S, O]{
+		d: d, inputs: inputs, srcs: srcs, opts: opts, o: opts.Obs,
+		ctl: opts.Sched, coordLane: opts.SchedLane,
+		st: st, shared: d.ops.Clone(initial), outs: make([]O, n), emit: emit,
+	}
+	r.lanes = opts.Workers
+	if r.lanes < 1 {
+		r.lanes = 1
+	}
+
+	slots := 1
+	if d.reserve != nil {
+		ns, ok := d.safeNumSlots(r.shared)
+		if !ok {
+			// NumSlots panicked: contained, but no parallel protocol is
+			// possible — the whole vector runs sequentially.
+			return r.setupFallback()
+		}
+		if ns > slots {
+			slots = ns
+		}
+	}
+	r.table = make([]atomic.Int64, slots)
+
+	p := opts.Pool
+	if p == nil {
+		p = newRunPool(opts)
+		p.SetObserver(r.o)
+		defer func() {
+			if r.ctl != nil {
+				r.ctl.Block(r.coordLane)
+			}
+			p.Close()
+			if r.ctl != nil {
+				r.ctl.Unblock(r.coordLane)
+			}
+		}()
+	}
+	r.p = p
+	r.poolBase = p.Metrics()
+	return r.run(numGroups, g)
+}
+
+// run processes the groups in order; a group failure squashes the
+// remaining inputs into the sequential fallback (§3.1: no further
+// speculation for the current input vector).
+func (r *resvRun[I, S, O]) run(numGroups, g int) ([]O, S, Stats) {
+	n := len(r.inputs)
+	for j := 0; j < numGroups; j++ {
+		start, end := j*g, min(n, (j+1)*g)
+		ok, pending := r.runGroup(j, start, end)
+		if !ok {
+			r.abort(j, numGroups, g, start, end, pending)
+			break
+		}
+	}
+	r.st.Invocations += r.invocations.Load()
+	r.st.UsefulInvocations += int64(r.committed)
+	captureScheduler(r.st, r.p, r.poolBase)
+	return r.outs, r.shared, *r.st
+}
+
+// runGroup runs one group's reserve/check/commit rounds to completion,
+// reporting success and — on failure — the inputs still pending.
+func (r *resvRun[I, S, O]) runGroup(j, start, end int) (bool, []int) {
+	width := end - start
+	pending := make([]int, 0, width)
+	for i := start; i < end; i++ {
+		pending = append(pending, i)
+	}
+	fps := make([][]int, width) // input i's footprint at fps[i-start]
+	states := make([]S, width)  // winners' returned states
+	won := make([]bool, width)
+
+	if r.o != nil {
+		r.o.GroupsStarted.Inc()
+		r.o.Tracer.Emit(j, obs.EvGroupStart, int32(j), int64(start))
+	}
+	timeout := r.opts.GroupTimeout
+	var groupStart time.Time
+	if timeout > 0 && r.ctl == nil {
+		groupStart = time.Now()
+	}
+
+	rounds := 0
+	for len(pending) > 0 {
+		// The deadline is checked once per round on the coordinator;
+		// under a controller the expiry is a schedulable choice (parked
+		// wall-clock time would otherwise count against the group).
+		if timeout > 0 {
+			expired := false
+			var elapsedNS int64
+			if r.ctl != nil {
+				expired = r.ctl.Choose(sched.PointTimeoutCheck, r.coordLane, 2) == 1
+			} else if elapsed := time.Since(groupStart); elapsed > timeout {
+				expired = true
+				elapsedNS = elapsed.Nanoseconds()
+			}
+			if expired {
+				r.failed.Store(int32(failTimeout))
+				r.failArg = elapsedNS
+				break
+			}
+		}
+		round := rounds
+		rounds++
+		r.st.Rounds++
+
+		// Reserve: every pending input write-mins its index into its
+		// footprint's cells. The committed state is immutable for the
+		// whole round, so parallel reads of it are race-free.
+		for s := range r.table {
+			r.table[s].Store(int64(len(r.inputs)))
+		}
+		r.wave(sched.PointReserve, pending, func(lane, i int) {
+			fp := r.footprintOf(i)
+			fps[i-start] = fp
+			for _, sl := range fp {
+				for {
+					cur := r.table[sl].Load()
+					if cur <= int64(i) || r.table[sl].CompareAndSwap(cur, int64(i)) {
+						break
+					}
+				}
+			}
+			if r.o != nil {
+				r.o.Reserves.Inc()
+				r.o.Tracer.Emit(lane, obs.EvReserve, int32(j), ReservationArg(round, i))
+			}
+		})
+		if r.failed.Load() != int32(failNone) {
+			break
+		}
+
+		// Check + compute: an input holding the minimum on all its slots
+		// wins and runs its compute from a private clone of the round's
+		// snapshot; losers carry forward.
+		r.wave(sched.PointReserveCheck, pending, func(lane, i int) {
+			k := i - start
+			won[k] = true
+			for _, sl := range fps[k] {
+				if r.table[sl].Load() != int64(i) {
+					won[k] = false
+					break
+				}
+			}
+			if !won[k] {
+				if r.o != nil {
+					r.o.ReserveConflicts.Inc()
+					r.o.Tracer.Emit(lane, obs.EvReserveLost, int32(j), ReservationArg(round, i))
+				}
+				return
+			}
+			snap := r.d.ops.Clone(r.shared)
+			src := r.srcs[i]
+			out, next := r.d.compute(&src, r.inputs[i], snap)
+			r.invocations.Add(1)
+			r.outs[i] = out
+			states[k] = next
+		})
+		if r.failed.Load() != int32(failNone) {
+			break
+		}
+
+		// Commit on the coordinator, in ascending input order.
+		if r.ctl != nil {
+			r.ctl.Yield(sched.PointCommit, r.coordLane)
+		}
+		if !r.commitRound(j, round, start, pending, fps, states, won) {
+			break
+		}
+		next := pending[:0]
+		for _, i := range pending {
+			if !won[i-start] {
+				next = append(next, i)
+			}
+		}
+		pending = next
+	}
+
+	if r.o != nil {
+		r.o.RoundsPerGroup.Observe(int64(rounds))
+		r.o.GroupsFinished.Inc()
+		r.o.Tracer.Emit(j, obs.EvGroupFinish, int32(j), int64(width-len(pending)))
+	}
+	if r.failed.Load() != int32(failNone) {
+		return false, pending
+	}
+	// Group complete: its outputs are final; stream them in input order
+	// (commits happened out of order, so emission buffers per group).
+	if r.emit != nil {
+		for i := start; i < end; i++ {
+			r.emit(i, r.outs[i])
+		}
+	}
+	return true, nil
+}
+
+// commitRound merges the round's winners into the committed state in
+// ascending input order and retires their outputs. A Merge panic is
+// contained: the state under merge is a private clone, so the committed
+// state is intact for the fallback and commitRound reports failure with
+// nothing retired.
+func (r *resvRun[I, S, O]) commitRound(j, round, start int, pending []int, fps [][]int, states []S, won []bool) bool {
+	if r.d.reserve == nil {
+		// Whole-state single slot: exactly one winner (the lowest pending
+		// index); adopt its returned state wholesale.
+		for _, i := range pending {
+			if won[i-start] {
+				r.shared = states[i-start]
+				break
+			}
+		}
+	} else {
+		next := r.d.ops.Clone(r.shared)
+		for _, i := range pending {
+			if !won[i-start] {
+				continue
+			}
+			merged, ok := r.safeMerge(next, states[i-start], fps[i-start])
+			if !ok {
+				r.failed.CompareAndSwap(int32(failNone), int32(failPanic))
+				return false
+			}
+			next = merged
+		}
+		r.shared = next
+	}
+
+	head := pending[0]
+	winners := 0
+	for _, i := range pending {
+		if !won[i-start] {
+			continue
+		}
+		winners++
+		r.committed++
+		if i != head {
+			// This input committed in the same round as a lower-indexed
+			// pending one: it genuinely ran ahead of sequential order.
+			r.st.SpeculativeCommits++
+			if r.o != nil {
+				r.o.SpecCommittedInputs.Inc()
+			}
+		}
+		if r.o != nil {
+			r.o.Commits.Inc()
+			r.o.Tracer.Emit(obs.LaneCoord, obs.EvCommit, int32(j), ReservationArg(round, i))
+		}
+	}
+	r.st.ReservationConflicts += len(pending) - winners
+	if winners == 0 {
+		// The lowest pending index wins every slot it reserves; an empty
+		// round is an engine bug, not a user-code failure.
+		panic("core: reservation round committed nothing")
+	}
+	return true
+}
+
+// footprintOf evaluates the input's footprint against the committed
+// state. Out-of-range slots are a contract violation surfaced as a panic,
+// which the wave contains like any user-code panic (the group falls back
+// sequentially, outputs intact).
+func (r *resvRun[I, S, O]) footprintOf(i int) []int {
+	if r.d.reserve == nil {
+		return wholeStateFootprint
+	}
+	fp := r.d.reserve.Footprint(r.inputs[i], r.shared)
+	for _, sl := range fp {
+		if sl < 0 || sl >= len(r.table) {
+			panic(fmt.Sprintf("core: footprint slot %d outside [0,%d)", sl, len(r.table)))
+		}
+	}
+	return fp
+}
+
+// wholeStateFootprint is the built-in single-slot footprint used when the
+// dependence has no ReserveOps: every input conflicts on slot 0.
+var wholeStateFootprint = []int{0}
+
+// wave fans body over the pending inputs: at most r.lanes contiguous
+// chunks, one pool task each, yielding at point on the chunk's lane
+// before every input. A body panic is contained (failPanic); once the run
+// is failed, remaining work bails at its next yield. The coordinator
+// steps out of the schedule around the submit-and-wait (unqueued tasks
+// run inline on it, yielding on their own lanes).
+func (r *resvRun[I, S, O]) wave(point sched.Point, pending []int, body func(lane, i int)) {
+	chunks := r.lanes
+	if chunks > len(pending) {
+		chunks = len(pending)
+	}
+	per := (len(pending) + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	var tasks []pool.Task
+	for c := 0; c*per < len(pending); c++ {
+		lo, hi := c*per, (c+1)*per
+		if hi > len(pending) {
+			hi = len(pending)
+		}
+		lane := r.coordLane + 1 + c
+		chunk := pending[lo:hi]
+		wg.Add(1)
+		tasks = append(tasks, func() {
+			defer wg.Done()
+			if r.ctl != nil {
+				defer r.ctl.Done(lane)
+			}
+			defer func() {
+				if rec := recover(); rec != nil {
+					r.failed.CompareAndSwap(int32(failNone), int32(failPanic))
+				}
+			}()
+			for _, i := range chunk {
+				if r.ctl != nil {
+					r.ctl.Yield(point, lane)
+				}
+				if r.failed.Load() != int32(failNone) {
+					return
+				}
+				body(lane, i)
+			}
+		})
+	}
+	if r.ctl != nil {
+		r.ctl.Block(r.coordLane)
+	}
+	nq, err := r.p.SubmitBatch(tasks)
+	if err != nil {
+		for _, task := range tasks[nq:] {
+			task()
+		}
+	}
+	wg.Wait()
+	if r.ctl != nil {
+		r.ctl.Unblock(r.coordLane)
+	}
+}
+
+// abort handles a group failure: classify it, squash the uncommitted
+// inputs, and reprocess them sequentially in ascending order from the
+// committed state — each with its pre-assigned random source, so the
+// outputs stay byte-identical to the sequential baseline.
+func (r *resvRun[I, S, O]) abort(j, numGroups, g, start, end int, pending []int) {
+	n := len(r.inputs)
+	switch groupFailure(r.failed.Load()) {
+	case failPanic:
+		r.st.PanickedGroups++
+		if r.o != nil {
+			r.o.PanickedGroups.Inc()
+			r.o.Tracer.Emit(obs.LaneCoord, obs.EvPanic, int32(j), int64(len(pending)))
+		}
+	case failTimeout:
+		r.st.TimedOutGroups++
+		if r.o != nil {
+			r.o.GroupTimeouts.Inc()
+			r.o.Tracer.Emit(obs.LaneCoord, obs.EvGroupTimeout, int32(j), r.failArg)
+		}
+	}
+	r.st.Aborts++
+	if r.o != nil {
+		r.o.Aborts.Inc()
+		r.o.Tracer.Emit(obs.LaneCoord, obs.EvAbort, int32(j), 0)
+		r.o.Squashes.Inc()
+		r.o.Tracer.Emit(obs.LaneCoord, obs.EvSquash, int32(j), int64(len(pending)))
+		for k := j + 1; k < numGroups; k++ {
+			ks, ke := k*g, min(n, (k+1)*g)
+			r.o.Squashes.Inc()
+			r.o.Tracer.Emit(obs.LaneCoord, obs.EvSquash, int32(k), int64(ke-ks))
+		}
+	}
+	remaining := len(pending) + (n - end)
+	r.st.SquashedInputs = remaining
+	r.st.FallbackInputs = remaining
+	if r.o != nil {
+		r.o.FallbackInputs.Add(int64(remaining))
+		r.o.Tracer.Emit(obs.LaneCoord, obs.EvFallback, int32(j), int64(remaining))
+	}
+	if r.ctl != nil {
+		r.ctl.Yield(sched.PointFallback, r.coordLane)
+	}
+	// Fill the failed group's pending slots, then stream the whole group
+	// in input order (its committed outputs were never emitted), then the
+	// tail sequentially.
+	for _, i := range pending {
+		r.seqOne(i)
+	}
+	if r.emit != nil {
+		for i := start; i < end; i++ {
+			r.emit(i, r.outs[i])
+		}
+	}
+	for i := end; i < n; i++ {
+		r.seqOne(i)
+		if r.emit != nil {
+			r.emit(i, r.outs[i])
+		}
+	}
+}
+
+// seqOne processes one input sequentially from the committed state with
+// its pre-assigned source. Unlike the aux protocol's fallback, a panic
+// here gets one contained retry: the first attempt runs on a clone with a
+// value copy of the source, so a panicked attempt leaves the committed
+// state and the input's stream untouched, and transient faults (at most
+// one per input, the chaos contract) replay deterministically. A second
+// panic is a deterministic application bug and propagates.
+func (r *resvRun[I, S, O]) seqOne(i int) {
+	out, next, ok := r.tryComputeSeq(i)
+	r.st.Invocations++
+	if !ok {
+		src := r.srcs[i]
+		out, next = r.d.compute(&src, r.inputs[i], r.shared)
+		r.st.Invocations++
+	}
+	r.shared = next
+	r.outs[i] = out
+	r.st.UsefulInvocations++
+}
+
+// tryComputeSeq is seqOne's contained first attempt.
+func (r *resvRun[I, S, O]) tryComputeSeq(i int) (out O, next S, ok bool) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			ok = false
+		}
+	}()
+	src := r.srcs[i]
+	out, next = r.d.compute(&src, r.inputs[i], r.d.ops.Clone(r.shared))
+	return out, next, true
+}
+
+// setupFallback handles a contained NumSlots panic: no group ever starts
+// and the whole vector runs sequentially.
+func (r *resvRun[I, S, O]) setupFallback() ([]O, S, Stats) {
+	n := len(r.inputs)
+	r.st.Aborts++
+	r.st.PanickedGroups++
+	r.st.SquashedInputs = 0
+	r.st.FallbackInputs = n
+	if r.o != nil {
+		r.o.Aborts.Inc()
+		r.o.PanickedGroups.Inc()
+		r.o.FallbackInputs.Add(int64(n))
+		r.o.Tracer.Emit(obs.LaneCoord, obs.EvPanic, 0, 0)
+		r.o.Tracer.Emit(obs.LaneCoord, obs.EvAbort, 0, 0)
+		r.o.Tracer.Emit(obs.LaneCoord, obs.EvFallback, 0, int64(n))
+	}
+	if r.ctl != nil {
+		r.ctl.Yield(sched.PointFallback, r.coordLane)
+	}
+	for i := 0; i < n; i++ {
+		r.seqOne(i)
+		if r.emit != nil {
+			r.emit(i, r.outs[i])
+		}
+	}
+	return r.outs, r.shared, *r.st
+}
+
+// safeNumSlots evaluates the developer's slot count with panic
+// containment.
+func (d *Dependence[I, S, O]) safeNumSlots(s S) (n int, ok bool) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			ok = false
+		}
+	}()
+	return d.reserve.NumSlots(s), true
+}
+
+// safeMerge applies the developer's Merge with panic containment.
+func (r *resvRun[I, S, O]) safeMerge(dst, src S, slots []int) (merged S, ok bool) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			ok = false
+		}
+	}()
+	return r.d.reserve.Merge(dst, src, slots), true
+}

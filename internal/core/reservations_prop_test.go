@@ -1,0 +1,227 @@
+// Property test of the reservations protocol's invariants over randomized
+// conflict graphs. The event log is the witness: EvReserve, EvReserveLost
+// and EvCommit all pack round<<32|input, so the per-round reserve, loss
+// and commit sets can be reconstructed exactly regardless of lane or
+// timestamp interleaving, and the protocol's claims become checkable:
+//
+//  1. priority: the lowest-indexed input reserving in a round always
+//     commits in that round (guaranteed progress);
+//  2. isolation: no input commits in a round where a lower-indexed
+//     reserver shares a footprint slot with it;
+//  3. termination: the carried-forward set strictly shrinks — round r+1's
+//     reservers are exactly round r's losers;
+//  4. accounting: Stats.Rounds, Stats.ReservationConflicts and the
+//     observer counters reconcile with the event log.
+package core_test
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// mslotInput touches a random subset of slots, so rounds mix disjoint
+// commits with multi-way conflicts.
+type mslotInput struct {
+	Slots []int
+	Val   float64
+}
+
+func mslotDep() *core.Dependence[mslotInput, []float64, float64] {
+	compute := func(_ *rng.Source, in mslotInput, s []float64) (float64, []float64) {
+		out := 0.0
+		for _, sl := range in.Slots {
+			s[sl] += in.Val
+			out += s[sl]
+		}
+		return out, s
+	}
+	return core.New(compute, nil, slottedOps()).WithReserve(core.ReserveOps[mslotInput, []float64]{
+		NumSlots:  func(initial []float64) int { return len(initial) },
+		Footprint: func(in mslotInput, _ []float64) []int { return in.Slots },
+		Merge: func(dst, src []float64, slots []int) []float64 {
+			for _, sl := range slots {
+				dst[sl] = src[sl]
+			}
+			return dst
+		},
+	})
+}
+
+// randomConflictGraph deals n inputs over k slots with footprints of 1-3
+// distinct slots.
+func randomConflictGraph(n, k int, seed uint64) []mslotInput {
+	r := rng.New(seed)
+	ins := make([]mslotInput, n)
+	for i := range ins {
+		width := 1 + int(r.Uint64()%3)
+		if width > k {
+			width = k
+		}
+		seen := map[int]bool{}
+		var slots []int
+		for len(slots) < width {
+			sl := int(r.Uint64() % uint64(k))
+			if !seen[sl] {
+				seen[sl] = true
+				slots = append(slots, sl)
+			}
+		}
+		sort.Ints(slots)
+		ins[i] = mslotInput{Slots: slots, Val: float64(i) + 0.5}
+	}
+	return ins
+}
+
+// roundKey identifies one reserve/check/commit round of one group.
+type roundKey struct {
+	group int32
+	round int
+}
+
+func intersects(a, b []int) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestReservationInvariantsProperty(t *testing.T) {
+	for trial := 0; trial < 24; trial++ {
+		seed := uint64(0x9E3779B97F4A7C15*uint64(trial) + 0x1CEB00DA)
+		r := rng.New(seed)
+		n := 16 + int(r.Uint64()%49) // 16..64
+		k := 3 + int(r.Uint64()%6)   // 3..8
+		g := 2 + int(r.Uint64()%8)   // 2..9, always < n so speculation engages
+		workers := 1 + int(r.Uint64()%8)
+		inputs := randomConflictGraph(n, k, seed^0xFEED)
+
+		ob := obs.NewObserver(8, 4096)
+		st := runPropTrial(t, inputs, k, g, workers, seed, ob)
+
+		if got := ob.Tracer.Dropped(); got != 0 {
+			t.Fatalf("trial %d: tracer dropped %d events; ring too small for the proof", trial, got)
+		}
+		reserves := map[roundKey][]int{}
+		losses := map[roundKey][]int{}
+		commits := map[roundKey][]int{}
+		totalCommits, totalLosses, totalReserves := 0, 0, 0
+		for _, ev := range ob.Tracer.Snapshot() {
+			round, input := core.SplitReservationArg(ev.Arg)
+			key := roundKey{ev.Group, round}
+			switch ev.Kind {
+			case obs.EvReserve:
+				reserves[key] = append(reserves[key], input)
+				totalReserves++
+			case obs.EvReserveLost:
+				losses[key] = append(losses[key], input)
+				totalLosses++
+			case obs.EvCommit:
+				commits[key] = append(commits[key], input)
+				totalCommits++
+			}
+		}
+		for key := range reserves {
+			sort.Ints(reserves[key])
+			sort.Ints(losses[key])
+			sort.Ints(commits[key])
+		}
+
+		if len(reserves) != st.Rounds {
+			t.Fatalf("trial %d: %d distinct rounds in the log, Stats.Rounds %d",
+				trial, len(reserves), st.Rounds)
+		}
+		if totalLosses != st.ReservationConflicts {
+			t.Fatalf("trial %d: %d losses in the log, Stats.ReservationConflicts %d",
+				trial, totalLosses, st.ReservationConflicts)
+		}
+		if totalCommits != n {
+			t.Fatalf("trial %d: %d commits for %d inputs", trial, totalCommits, n)
+		}
+		if totalReserves != n+totalLosses {
+			t.Fatalf("trial %d: %d reserves, want commits+losses = %d",
+				trial, totalReserves, n+totalLosses)
+		}
+		if v := ob.Reserves.Value(); v != int64(totalReserves) {
+			t.Fatalf("trial %d: Reserves counter %d, log %d", trial, v, totalReserves)
+		}
+		if v := ob.ReserveConflicts.Value(); v != int64(totalLosses) {
+			t.Fatalf("trial %d: ReserveConflicts counter %d, log %d", trial, v, totalLosses)
+		}
+		if v := ob.Commits.Value(); v != int64(totalCommits) {
+			t.Fatalf("trial %d: Commits counter %d, log %d", trial, v, totalCommits)
+		}
+
+		for key, res := range reserves {
+			committed := commits[key]
+			lost := losses[key]
+			// Every reserver either commits or carries forward, exclusively.
+			both := append(append([]int{}, committed...), lost...)
+			sort.Ints(both)
+			if !reflect.DeepEqual(both, res) {
+				t.Fatalf("trial %d: group %d round %d: reservers %v != commits %v + losses %v",
+					trial, key.group, key.round, res, committed, lost)
+			}
+			// 1. The lowest reserver always commits.
+			if len(committed) == 0 || committed[0] != res[0] {
+				t.Fatalf("trial %d: group %d round %d: lowest reserver %d did not commit (%v)",
+					trial, key.group, key.round, res[0], committed)
+			}
+			// 2. A committed input shares no slot with any lower-indexed
+			// reserver of the same round.
+			for _, c := range committed {
+				for _, o := range res {
+					if o >= c {
+						break
+					}
+					if intersects(inputs[c].Slots, inputs[o].Slots) {
+						t.Fatalf("trial %d: group %d round %d: input %d committed over lower reserver %d sharing a slot",
+							trial, key.group, key.round, c, o)
+					}
+				}
+			}
+			// 3. The next round's reservers are exactly this round's losers.
+			next := roundKey{key.group, key.round + 1}
+			if nr, ok := reserves[next]; ok {
+				if !reflect.DeepEqual(nr, lost) {
+					t.Fatalf("trial %d: group %d round %d: losers %v, next round reserves %v",
+						trial, key.group, key.round, lost, nr)
+				}
+			} else if len(lost) != 0 {
+				t.Fatalf("trial %d: group %d round %d: %d losers but no next round",
+					trial, key.group, key.round, len(lost))
+			}
+			if len(res) > 0 && key.round > 0 {
+				prev := reserves[roundKey{key.group, key.round - 1}]
+				if len(res) >= len(prev) {
+					t.Fatalf("trial %d: group %d round %d: pending grew %d -> %d",
+						trial, key.group, key.round, len(prev), len(res))
+				}
+			}
+		}
+	}
+}
+
+// runPropTrial runs the reservations engine over the graph and asserts the
+// output equals the sequential baseline before handing back the stats.
+func runPropTrial(t *testing.T, inputs []mslotInput, k, g, workers int, seed uint64, ob *obs.Observer) core.Stats {
+	t.Helper()
+	seqOuts, seqFinal, _ := mslotDep().Run(inputs, make([]float64, k), core.Options{Seed: seed})
+	outs, final, st := mslotDep().Run(inputs, make([]float64, k), core.Options{
+		UseAux: true, Protocol: core.ProtocolReservations,
+		GroupSize: g, Workers: workers, Seed: seed, Obs: ob,
+	})
+	if !reflect.DeepEqual(outs, seqOuts) || !reflect.DeepEqual(final, seqFinal) {
+		t.Fatalf("reservations diverged from sequential (n=%d k=%d g=%d w=%d)",
+			len(inputs), k, g, workers)
+	}
+	return st
+}

@@ -72,6 +72,9 @@ type ChaosScenario struct {
 	// ComputeOnce arms transient compute panics (fault.WrapComputeOnce,
 	// one fresh wrapper per engine run).
 	ComputeOnce bool
+	// Protocol selects the speculation protocol the scenario runs under
+	// (the zero value is the default aux protocol).
+	Protocol core.Protocol
 	// GroupTimeout is passed to the engine (0 disables deadlines).
 	GroupTimeout time.Duration
 	// Breaker attaches a fresh circuit breaker across the scenario's runs.
@@ -89,6 +92,10 @@ type ChaosResult struct {
 	AuxPanics, Garbage, ComputePanics, Delays uint64
 	// Engine accounting summed over the runs.
 	PanickedGroups, TimedOutGroups, Aborts, BreakerDenied int
+	// Rounds sums reservation rounds over the runs (0 under the aux
+	// protocol); nonzero proves a reservations scenario actually engaged
+	// the reserve/check/commit machinery before its faults landed.
+	Rounds int
 	// BreakerTrips is the breaker's lifetime trip count (0 without one).
 	BreakerTrips int64
 	// EventPanics and EventTimeouts are the event-log totals (EvPanic /
@@ -115,6 +122,11 @@ func chaosScenarios(seed uint64) []ChaosScenario {
 		{Name: "compute transient", Cfg: fault.Config{Seed: seed + 3, ComputePanicRate: 0.25}, ComputeOnce: true, Runs: 3},
 		{Name: "mixed + breaker", Cfg: fault.Config{Seed: seed + 4, AuxPanicRate: 0.3, GarbageRate: 0.3}, Breaker: true, Runs: 8},
 		{Name: "delay + deadline", Cfg: fault.Config{Seed: seed + 5, DelayRate: 0.3, Delay: 3 * time.Millisecond}, GroupTimeout: time.Millisecond, Runs: 2},
+		// The same transient-compute-panic campaign under deterministic
+		// reservations: the panic lands on a reservation lane mid-round, the
+		// round is squashed and the group falls back sequentially — outputs
+		// must still be byte-identical to the uninjected baseline.
+		{Name: "reservations transient", Cfg: fault.Config{Seed: seed + 6, ComputePanicRate: 0.25}, ComputeOnce: true, Protocol: core.ProtocolReservations, Runs: 3},
 	}
 }
 
@@ -180,7 +192,8 @@ func chaosScenarioRun(sc ChaosScenario, inputs []int, baseOuts []int, baseFinal 
 		}
 		dep := core.New(compute, aux, chaosOps())
 		outs, final, st, err := dep.RunChecked(inputs, chaosState{}, core.Options{
-			UseAux: true, GroupSize: groupSize, Window: len(inputs),
+			UseAux: true, Protocol: sc.Protocol,
+			GroupSize: groupSize, Window: len(inputs),
 			RedoMax: 1, Rollback: 4, Workers: workers,
 			Seed: sc.Cfg.Seed + uint64(run),
 			Obs:  ob, GroupTimeout: sc.GroupTimeout, Breaker: b,
@@ -196,6 +209,7 @@ func chaosScenarioRun(sc ChaosScenario, inputs []int, baseOuts []int, baseFinal 
 		res.TimedOutGroups += st.TimedOutGroups
 		res.Aborts += st.Aborts
 		res.BreakerDenied += st.BreakerDenied
+		res.Rounds += st.Rounds
 
 		// A live scrape between runs: every exposition must parse and
 		// satisfy the registry's structural invariants.

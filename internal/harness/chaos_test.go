@@ -12,7 +12,7 @@ func TestChaosCampaign(t *testing.T) {
 	if err != nil {
 		t.Fatalf("chaos campaign: %v", err)
 	}
-	if len(res) < 6 {
+	if len(res) < 7 {
 		t.Fatalf("scenarios run: %d", len(res))
 	}
 	byName := map[string]ChaosResult{}
@@ -43,6 +43,9 @@ func TestChaosCampaign(t *testing.T) {
 	}
 	if r := byName["delay + deadline"]; r.Delays == 0 || r.TimedOutGroups == 0 {
 		t.Errorf("delay + deadline: injected %d delays, timed-out groups %d", r.Delays, r.TimedOutGroups)
+	}
+	if r := byName["reservations transient"]; r.ComputePanics == 0 || r.PanickedGroups < int(r.ComputePanics) || r.Rounds == 0 {
+		t.Errorf("reservations transient: injected %d, panicked groups %d, rounds %d; want the panic landing mid-round", r.ComputePanics, r.PanickedGroups, r.Rounds)
 	}
 }
 

@@ -95,6 +95,28 @@ func exploreTargets(e *Env) []exploreTarget {
 				return got.Distance(ref) == 0
 			},
 		})
+
+		// The same workload under the reservations protocol: schedules now
+		// drive the reserve/check/commit yield points, and the contract is
+		// stronger — the output must equal the engine's own sequential run
+		// of the same shape (the protocol's by-construction guarantee), not
+		// just a controller-free reference.
+		resvOpts := workload.SpecOptions{
+			UseAux: true, Protocol: core.ProtocolReservations,
+			GroupSize: 4, Workers: 2,
+		}
+		seqOpts := resvOpts
+		seqOpts.UseAux = false
+		resvRef, _ := w.RunSTATS(e.Seed, e.RealSize, seqOpts)
+		ts = append(ts, exploreTarget{
+			name: w.Desc().Name + " (resv)",
+			run: func(ctl sched.Controller) bool {
+				o := resvOpts
+				o.Sched = ctl
+				got, st := w.RunSTATS(e.Seed, e.RealSize, o)
+				return got.Distance(resvRef) == 0 && st.Rounds > 0
+			},
+		})
 	}
 
 	inputs := make([]int, 96)
@@ -128,6 +150,38 @@ func exploreTargets(e *Env) []exploreTarget {
 			},
 		})
 	}
+
+	// Reservation synthetics: schedules sweep the reserve/check/commit
+	// yield points, clean and with one transient compute panic landing
+	// mid-round (squashing the round into the sequential fallback). Both
+	// must stay byte-identical to the uninjected sequential baseline.
+	resvRun := func(ctl sched.Controller, in *fault.Injector) bool {
+		compute := chaosCompute
+		if in != nil {
+			compute = fault.WrapComputeOnce(in, chaosCompute,
+				func(v int) uint64 { return uint64(v) })
+		}
+		d := core.New(compute, nil, chaosOps())
+		outs, final, st, err := d.RunChecked(inputs, chaosState{}, core.Options{
+			UseAux: true, Protocol: core.ProtocolReservations,
+			GroupSize: 8, Workers: 2, Seed: e.Seed + 13, Sched: ctl,
+		})
+		return err == nil && final == baseFinal && equalInts(outs, baseOuts) && st.Rounds > 0
+	}
+	ts = append(ts,
+		exploreTarget{
+			name: "synthetic reservations",
+			run:  func(ctl sched.Controller) bool { return resvRun(ctl, nil) },
+		},
+		exploreTarget{
+			name: "synthetic reservations compute-once 30%",
+			run: func(ctl sched.Controller) bool {
+				return resvRun(ctl, fault.New(fault.Config{
+					Seed: e.Seed + 14, ComputePanicRate: 0.30,
+				}))
+			},
+		},
+	)
 	return ts
 }
 

@@ -20,10 +20,10 @@ func TestExploreQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) < 7 {
-		t.Fatalf("expected six workloads plus synthetic fault rows, got %d", len(rows))
+	if len(rows) < 14 {
+		t.Fatalf("expected six workloads under both protocols plus synthetic fault rows, got %d", len(rows))
 	}
-	sawSynthetic := false
+	sawSynthetic, sawResv, sawSynthResv := false, false, false
 	for _, r := range rows {
 		if r.Failures != 0 {
 			t.Errorf("%s: %d schedules broke the output contract", r.Name, r.Failures)
@@ -43,9 +43,18 @@ func TestExploreQuick(t *testing.T) {
 		if strings.HasPrefix(r.Name, "synthetic ") {
 			sawSynthetic = true
 		}
+		if strings.HasSuffix(r.Name, "(resv)") {
+			sawResv = true
+		}
+		if strings.HasPrefix(r.Name, "synthetic reservations") {
+			sawSynthResv = true
+		}
 	}
 	if !sawSynthetic {
 		t.Error("no synthetic fault-injection rows")
+	}
+	if !sawResv || !sawSynthResv {
+		t.Errorf("missing reservation rows: workload=%v synthetic=%v", sawResv, sawSynthResv)
 	}
 }
 

@@ -65,6 +65,9 @@ func TestTable1Shapes(t *testing.T) {
 		if r.ExtraCommitted < 0 || r.ExtraCommitted > 1.5 {
 			t.Fatalf("%s: extra committed %v out of plausible range", r.Name, r.ExtraCommitted)
 		}
+		if r.AuxWallNS <= 0 || r.ResvWallNS <= 0 {
+			t.Fatalf("%s: protocol race not timed: aux %d resv %d", r.Name, r.AuxWallNS, r.ResvWallNS)
+		}
 	}
 }
 

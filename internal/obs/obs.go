@@ -79,6 +79,14 @@ type Observer struct {
 	// open circuit breaker.
 	BreakerDenied *Counter
 
+	// Reserves, ReserveConflicts and Commits count the deterministic-
+	// reservations protocol's phases: slot reservations written, inputs
+	// that lost a slot to a lower index and carried forward, and inputs
+	// whose outputs the coordinator committed.
+	Reserves         *Counter
+	ReserveConflicts *Counter
+	Commits          *Counter
+
 	// Steals, LocalHits and TasksDone count the scheduler's dispatches:
 	// cross-worker steals, contention-free local pops, and completed
 	// tasks.
@@ -93,6 +101,10 @@ type Observer struct {
 	// consumed; its Sum equals the Redos counter and its Count the
 	// number of validations.
 	RedosPerValidation *Histogram
+	// RoundsPerGroup observes how many reserve/check/commit rounds each
+	// reservations group needed; its Sum equals Stats.Rounds and its
+	// Count the number of groups the protocol processed.
+	RoundsPerGroup *Histogram
 	// QueueDepth observes the scheduler's per-deque depth after every
 	// push; QueueDepthPeak tracks the lifetime maximum.
 	QueueDepth     *Histogram
@@ -126,12 +138,17 @@ func NewObserver(lanes, perLaneCap int) *Observer {
 		GroupTimeouts:  reg.Counter("stats_group_timeouts_total"),
 		BreakerDenied:  reg.Counter("stats_breaker_denied_runs_total"),
 
+		Reserves:         reg.Counter("stats_reserves_total"),
+		ReserveConflicts: reg.Counter("stats_reserve_conflicts_total"),
+		Commits:          reg.Counter("stats_reservation_commits_total"),
+
 		Steals:    reg.Counter("sched_steals_total"),
 		LocalHits: reg.Counter("sched_local_hits_total"),
 		TasksDone: reg.Counter("sched_tasks_done_total"),
 
 		ValidationLatencyNS: reg.Histogram("stats_validation_latency_ns"),
 		RedosPerValidation:  reg.Histogram("stats_redos_per_validation"),
+		RoundsPerGroup:      reg.Histogram("stats_rounds_per_group"),
 		QueueDepth:          reg.Histogram("sched_queue_depth"),
 		QueueDepthPeak:      reg.Gauge("sched_queue_depth_peak"),
 	}
@@ -151,6 +168,10 @@ func NewObserver(lanes, perLaneCap int) *Observer {
 		"stats_panicked_groups_total":           "speculative groups squashed by a contained user-code panic",
 		"stats_group_timeouts_total":            "speculative groups squashed by the per-group deadline",
 		"stats_breaker_denied_runs_total":       "runs whose speculation was suppressed by an open circuit breaker",
+		"stats_reserves_total":                  "slot reservations written by the deterministic-reservations protocol",
+		"stats_reserve_conflicts_total":         "inputs that lost a reserved slot to a lower index and carried forward",
+		"stats_reservation_commits_total":       "inputs committed by the reservations coordinator",
+		"stats_rounds_per_group":                "reserve/check/commit rounds needed per reservations group",
 		"sched_steals_total":                    "cross-worker task dispatches (work stealing)",
 		"sched_local_hits_total":                "contention-free local-deque task dispatches",
 		"sched_tasks_done_total":                "tasks completed by the scheduler",

@@ -60,6 +60,17 @@ const (
 	// EvBreakerDenied marks a run whose speculation was suppressed by an
 	// open circuit breaker (the run executed sequentially).
 	EvBreakerDenied
+	// EvReserve marks a reservation lane write-min'ing its input's slot
+	// footprint into a round's reservation table (the deterministic-
+	// reservations protocol). Arg packs round<<32 | input index.
+	EvReserve
+	// EvReserveLost marks an input that found a lower-indexed input
+	// holding one of its slots at check time and carried forward to the
+	// next round. Arg packs round<<32 | input index.
+	EvReserveLost
+	// EvCommit marks one input's output committed by the reservations
+	// coordinator. Arg packs round<<32 | input index.
+	EvCommit
 
 	numEventKinds // sentinel, keep last
 )
@@ -82,6 +93,9 @@ var eventKindNames = [numEventKinds]string{
 	EvPanic:            "panic",
 	EvGroupTimeout:     "group-timeout",
 	EvBreakerDenied:    "breaker-denied",
+	EvReserve:          "reserve",
+	EvReserveLost:      "reserve-lost",
+	EvCommit:           "commit",
 }
 
 // String returns the kind's stable exposition name.

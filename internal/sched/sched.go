@@ -84,6 +84,17 @@ const (
 	// PointPopOrSteal is a Choose point (n=2) a pool worker consults
 	// before dispatch: 1 attempts a steal before its own deque's pop.
 	PointPopOrSteal
+	// PointReserve is a reservation lane about to write-min its input's
+	// slot footprint into the round's reservation table
+	// (core.ProtocolReservations).
+	PointReserve
+	// PointReserveCheck is a reservation lane about to check whether its
+	// input still holds every slot it reserved — and, on success, run the
+	// compute from the round's snapshot.
+	PointReserveCheck
+	// PointCommit is the reservations coordinator about to merge a
+	// round's winners into the committed state in input order.
+	PointCommit
 
 	numPoints // sentinel, keep last
 )
@@ -104,6 +115,9 @@ var pointNames = [numPoints]string{
 	PointTimeoutCheck:  "timeout-check",
 	PointStealVictim:   "steal-victim",
 	PointPopOrSteal:    "pop-or-steal",
+	PointReserve:       "reserve",
+	PointReserveCheck:  "reserve-check",
+	PointCommit:        "commit",
 }
 
 // String returns the point's stable wire name.

@@ -310,11 +310,18 @@ func (w *W) RunBoosted(seed uint64, size int, factor float64) workload.Result {
 }
 
 // RunSTATS implements workload.Workload: each swaption's block chain runs
-// through the core engine; statistics aggregate across instruments.
+// through the core engine; statistics aggregate across instruments. Under
+// core.ProtocolReservations the six chains are interleaved into one
+// block-major flat chain with one state slot per instrument (see
+// flatDependence), so the protocol's slot footprints expose the
+// portfolio's outer parallelism inside a single engine run.
 func (w *W) RunSTATS(seed uint64, size int, o workload.SpecOptions) (workload.Result, core.Stats) {
 	def := w.resolve(o, true)
 	aux := w.resolve(o, false)
 	instruments := portfolio(numSwaptions, o.BadTraining)[:realRunSwaptions]
+	if o.Protocol == core.ProtocolReservations {
+		return runFlat(seed, size, instruments, def, o)
+	}
 	res := Result{Prices: make([]float64, len(instruments))}
 	var agg core.Stats
 	for i, s := range instruments {
@@ -324,6 +331,77 @@ func (w *W) RunSTATS(seed uint64, size int, o workload.SpecOptions) (workload.Re
 		addStats(&agg, st)
 	}
 	return res, agg
+}
+
+// FlatBlock is one (block, instrument) cell of the block-major chain the
+// reservations protocol prices: sequential order walks instruments within
+// a block, then advances to the next block, so cells of the same block
+// touch disjoint slots and commit in the same round.
+type FlatBlock struct {
+	Block int
+	Inst  int
+}
+
+// FlatDependence builds the reservation-ready dependence over the
+// portfolio: state is one PriceState per instrument, a cell's footprint
+// is exactly its instrument's slot, and Merge copies the winner's slot.
+func FlatDependence(instruments []Swaption, o workload.SpecOptions) *core.Dependence[FlatBlock, []PriceState, float64] {
+	return flatDependence(instruments, params{pathPrec: tradeoff.Double, discPrec: tradeoff.Double}, o)
+}
+
+func flatDependence(instruments []Swaption, p params, o workload.SpecOptions) *core.Dependence[FlatBlock, []PriceState, float64] {
+	compute := func(r *rng.Source, in FlatBlock, st []PriceState) (float64, []PriceState) {
+		s := instruments[in.Inst]
+		cell := st[in.Inst]
+		for t := 0; t < trialsPerBlock; t++ {
+			cell.Sum += simulateTrial(r, s, p)
+		}
+		cell.Count += trialsPerBlock
+		st[in.Inst] = cell
+		return cell.Mean(), st
+	}
+	ops := core.StateOps[[]PriceState]{
+		Clone: func(s []PriceState) []PriceState {
+			cp := make([]PriceState, len(s))
+			copy(cp, s)
+			return cp
+		},
+	}
+	dep := core.New[FlatBlock, []PriceState, float64](compute, nil, ops)
+	return dep.WithReserve(core.ReserveOps[FlatBlock, []PriceState]{
+		NumSlots:  func(initial []PriceState) int { return len(initial) },
+		Footprint: func(in FlatBlock, _ []PriceState) []int { return []int{in.Inst} },
+		Merge: func(dst, src []PriceState, slots []int) []PriceState {
+			for _, sl := range slots {
+				dst[sl] = src[sl]
+			}
+			return dst
+		},
+	})
+}
+
+// FlatBlocks materializes the block-major chain for nBlocks blocks over k
+// instruments.
+func FlatBlocks(nBlocks, k int) []FlatBlock {
+	cells := make([]FlatBlock, 0, nBlocks*k)
+	for b := 0; b < nBlocks; b++ {
+		for i := 0; i < k; i++ {
+			cells = append(cells, FlatBlock{Block: b, Inst: i})
+		}
+	}
+	return cells
+}
+
+// runFlat prices the portfolio through one reservations engine run over
+// the block-major chain. The last block's row of outputs holds the final
+// per-instrument prices.
+func runFlat(seed uint64, size int, instruments []Swaption, p params, o workload.SpecOptions) (workload.Result, core.Stats) {
+	k := len(instruments)
+	dep := flatDependence(instruments, p, o)
+	outs, _, st := dep.Run(FlatBlocks(size, k), make([]PriceState, k), o.CoreOptions(seed))
+	res := Result{Prices: make([]float64, k)}
+	copy(res.Prices, outs[(size-1)*k:])
+	return res, st
 }
 
 func addStats(agg *core.Stats, st core.Stats) {
@@ -342,6 +420,8 @@ func addStats(agg *core.Stats, st core.Stats) {
 	agg.PanickedGroups += st.PanickedGroups
 	agg.TimedOutGroups += st.TimedOutGroups
 	agg.BreakerDenied += st.BreakerDenied
+	agg.Rounds += st.Rounds
+	agg.ReservationConflicts += st.ReservationConflicts
 }
 
 // CostModel implements workload.Workload. One default-precision block is

@@ -33,8 +33,13 @@ import (
 // simulated run: the engine parameters of §3.1 plus the auxiliary-code
 // tradeoff indices.
 type SpecOptions struct {
-	// UseAux enables satisfying the state dependence with auxiliary code.
+	// UseAux enables satisfying the state dependence speculatively (with
+	// auxiliary code under core.ProtocolAux, with slot reservations under
+	// core.ProtocolReservations).
 	UseAux bool
+	// Protocol selects the engine's speculation protocol; the zero value
+	// is the paper's aux-state speculation.
+	Protocol core.Protocol
 	// GroupSize, Window, RedoMax and Rollback are the engine options of
 	// core.Options (G, k, R, W).
 	GroupSize int
@@ -78,6 +83,7 @@ type SpecOptions struct {
 func (o SpecOptions) CoreOptions(seed uint64) core.Options {
 	return core.Options{
 		UseAux:       o.UseAux,
+		Protocol:     o.Protocol,
 		GroupSize:    o.GroupSize,
 		Window:       o.Window,
 		RedoMax:      o.RedoMax,
