@@ -29,6 +29,7 @@ race:
 vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/statsvet testdata/bodytrack.stats ./examples ./internal/workload ./stats
+	$(GO) run ./cmd/statsvet -footprints cmd/statsvet/testdata/corpus/good/*.stats
 
 # Scheduler benchmarks: sharded work-stealing pool vs the single-channel
 # baseline, plus the engine's group fan-out across worker counts.

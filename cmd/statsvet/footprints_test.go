@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+)
+
+// TestFootprintsSlotMapMatchesWorkloads ties the static inference to the
+// Go formulations: each good-corpus program's inferred slot map must
+// match the slot shape its workload's ReserveOps actually uses
+// (swaptions: 6 per-instrument slots; streamcluster, fluidanimate,
+// streamclassifier: 4 shard/fluid/member slots), and the two whole-state
+// workloads must widen to ⊤.
+func TestFootprintsSlotMapMatchesWorkloads(t *testing.T) {
+	want := map[string]struct {
+		slots   int
+		precise bool
+		expr    string
+	}{
+		"swaptions.stats":        {6, true, "inst"},
+		"streamcluster.stats":    {4, true, "shard"},
+		"fluidanimate.stats":     {4, true, "fluid"},
+		"streamclassifier.stats": {4, true, "member"},
+		"bodytrack.stats":        {0, false, "*"},
+		"facedet.stats":          {0, false, "*"},
+	}
+	paths := globAll(t, "testdata/corpus/good", "*.stats")
+	var out, errb bytes.Buffer
+	if code := runFootprints(paths, true, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	var maps []slotMap
+	if err := json.Unmarshal(out.Bytes(), &maps); err != nil {
+		t.Fatalf("decoding slot map: %v", err)
+	}
+	if len(maps) != len(want) {
+		t.Fatalf("got %d files, want %d", len(maps), len(want))
+	}
+	for _, m := range maps {
+		w, ok := want[filepath.Base(m.File)]
+		if !ok {
+			t.Errorf("%s: unexpected file in slot map", m.File)
+			continue
+		}
+		if len(m.Deps) != 1 {
+			t.Errorf("%s: %d deps, want 1", m.File, len(m.Deps))
+			continue
+		}
+		d := m.Deps[0]
+		if d.Slots != w.slots || d.Precise != w.precise {
+			t.Errorf("%s: slots=%d precise=%v, want slots=%d precise=%v",
+				m.File, d.Slots, d.Precise, w.slots, w.precise)
+		}
+		if len(d.Inferred) != 1 || d.Inferred[0] != w.expr {
+			t.Errorf("%s: inferred %v, want [%s]", m.File, d.Inferred, w.expr)
+		}
+		if w.precise {
+			if len(d.Declared) != 1 || d.Declared[0] != w.expr {
+				t.Errorf("%s: declared %v, want [%s]", m.File, d.Declared, w.expr)
+			}
+		}
+	}
+}
+
+// TestFootprintsRejectsGoInput locks the usage error: Go sources have no
+// IR to infer over.
+func TestFootprintsRejectsGoInput(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := runFootprints([]string{"testdata/corpus/broken/dropped_stats.go"}, false, &out, &errb); code != 2 {
+		t.Fatalf("exit %d on a .go input, want 2; stderr: %s", code, errb.String())
+	}
+}

@@ -122,8 +122,8 @@ func TestPassCoverage(t *testing.T) {
 	run(brokenCorpus(t), &out, &errb)
 	text := out.String()
 	for _, pass := range []string{
-		"frontend", "srclint", "verify", "effects", "lints",
-		"negopts", "droppedstats", "specclosure",
+		"frontend", "srclint", "verify", "effects", "footprints", "lints",
+		"negopts", "droppedstats", "specclosure", "reserveops",
 	} {
 		if !strings.Contains(text, " "+pass+": ") {
 			t.Errorf("broken corpus never triggers pass %s", pass)
@@ -137,7 +137,7 @@ func TestPassesFlag(t *testing.T) {
 	if code := run([]string{"-passes"}, &out, &errb); code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
-	for _, name := range []string{"verify", "effects", "lints", "negopts", "droppedstats", "specclosure"} {
+	for _, name := range []string{"verify", "effects", "footprints", "lints", "negopts", "droppedstats", "specclosure", "reserveops"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-passes listing missing %s:\n%s", name, out.String())
 		}

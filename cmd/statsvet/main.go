@@ -87,8 +87,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
 	listPasses := fs.Bool("passes", false, "list the analysis passes and exit")
+	footMode := fs.Bool("footprints", false, "emit the inferred slot-level footprint map instead of findings")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: statsvet [-json] [-passes] path...")
+		fmt.Fprintln(stderr, "usage: statsvet [-json] [-passes] [-footprints] path...")
 		fmt.Fprintln(stderr, "paths: .stats sources, .ir.json modules, .go files or directories")
 		fs.PrintDefaults()
 	}
@@ -107,6 +108,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if fs.NArg() == 0 {
 		fs.Usage()
 		return 2
+	}
+	if *footMode {
+		return runFootprints(fs.Args(), *jsonOut, stdout, stderr)
 	}
 
 	var all []finding
@@ -175,6 +179,113 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// slotDep is one dependence's entry in the -footprints export: the
+// inferred and declared index expressions in their canonical renderings
+// ("*", "3", "f", "2*f+1"), the form internal/workload re-parses when it
+// builds slotted ReserveOps from the inference.
+type slotDep struct {
+	Dep      string   `json:"dep"`
+	State    string   `json:"state"`
+	Slots    int      `json:"slots,omitempty"`
+	Precise  bool     `json:"precise"`
+	Inferred []string `json:"inferred,omitempty"`
+	Declared []string `json:"declared,omitempty"`
+}
+
+// slotMap is the per-file -footprints export document.
+type slotMap struct {
+	File string    `json:"file"`
+	Deps []slotDep `json:"deps"`
+}
+
+// runFootprints handles -footprints mode: load each module, run the
+// inference, and emit the slot map (JSON array or text). Go paths have no
+// IR to infer over and are a usage error.
+func runFootprints(paths []string, jsonOut bool, stdout, stderr io.Writer) int {
+	var maps []slotMap
+	for _, path := range paths {
+		m, fsnd, err := loadModule(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "statsvet:", err)
+			return 2
+		}
+		if m == nil {
+			fmt.Fprintf(stderr, "statsvet: %s: %s\n", path, fsnd[0].Msg)
+			return 1
+		}
+		sm := slotMap{File: path}
+		for _, fp := range analysis.InferFootprints(m) {
+			sd := slotDep{Dep: fp.Dep, State: fp.State, Slots: fp.Slots, Precise: fp.Precise()}
+			for _, e := range fp.Exprs() {
+				sd.Inferred = append(sd.Inferred, e.String())
+			}
+			for _, e := range fp.Reserve {
+				sd.Declared = append(sd.Declared, e.String())
+			}
+			sm.Deps = append(sm.Deps, sd)
+		}
+		maps = append(maps, sm)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if maps == nil {
+			maps = []slotMap{}
+		}
+		if err := enc.Encode(maps); err != nil {
+			fmt.Fprintln(stderr, "statsvet:", err)
+			return 2
+		}
+		return 0
+	}
+	for _, sm := range maps {
+		for _, sd := range sm.Deps {
+			precise := "widened"
+			if sd.Precise {
+				precise = "precise"
+			}
+			fmt.Fprintf(stdout, "%s: dep %s: state %s slots %d %s inferred [%s] declared [%s]\n",
+				sm.File, sd.Dep, sd.State, sd.Slots, precise,
+				strings.Join(sd.Inferred, " "), strings.Join(sd.Declared, " "))
+		}
+	}
+	return 0
+}
+
+// loadModule loads one .stats or .ir.json path as an IR module. A nil
+// module with findings means the input itself was rejected.
+func loadModule(path string) (*ir.Module, []finding, error) {
+	switch {
+	case strings.HasSuffix(path, ".stats"):
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		fo, err := frontend.Translate(string(src))
+		if err != nil {
+			return nil, []finding{{File: path, Severity: "error", Pass: "frontend", Msg: err.Error()}}, nil
+		}
+		m, err := midend.Lower(fo)
+		if err != nil {
+			return nil, []finding{{File: path, Severity: "error", Pass: "midend", Msg: err.Error()}}, nil
+		}
+		return m, nil, nil
+	case strings.HasSuffix(path, ".ir.json"):
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		m, err := ir.DecodeJSON(f)
+		if err != nil {
+			return nil, []finding{{File: path, Severity: "error", Pass: "decode", Msg: err.Error()}}, nil
+		}
+		return m, nil, nil
+	default:
+		return nil, nil, fmt.Errorf("%s: -footprints wants .stats or .ir.json inputs", path)
+	}
 }
 
 // vetStats compiles one SDI/TI source through the front- and mid-end and

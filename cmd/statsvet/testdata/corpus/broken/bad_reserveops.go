@@ -1,0 +1,28 @@
+// Package broken seeds every reserveops finding: a Footprint returning a
+// slice captured from the enclosing scope, a constant slot index at and
+// beyond NumSlots, and a Merge writing through its src argument.
+package broken
+
+import "repro/internal/core"
+
+type cell struct{ Shard int }
+
+func badReserveOps() core.ReserveOps[cell, []int] {
+	shared := []int{0}
+	return core.ReserveOps[cell, []int]{
+		NumSlots: func(initial []int) int { return 4 },
+		Footprint: func(in cell, _ []int) []int {
+			if in.Shard == 0 {
+				return []int{4, -1}
+			}
+			shared[0] = in.Shard
+			return shared
+		},
+		Merge: func(dst, src []int, slots []int) []int {
+			for _, sl := range slots {
+				src[sl] = dst[sl]
+			}
+			return dst
+		},
+	}
+}

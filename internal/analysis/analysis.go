@@ -7,7 +7,7 @@
 // optimization (prove statically what you can, pay speculation only for
 // what you can't).
 //
-// Three IR passes ship today:
+// Four IR passes ship today:
 //
 //   - verify: IR well-formedness — operand arity per opcode,
 //     def-before-use, call-graph consistency, metadata integrity, and
@@ -18,6 +18,10 @@
 //     then flags auxiliary code that reads inputs outside its declared
 //     statedep window, reads foreign state, or writes anything but the
 //     speculative start state.
+//   - footprints: the same dataflow at slot granularity — affine index
+//     expressions over the current input, widened to ⊤ only when
+//     genuinely dynamic — proving every declared reservation footprint
+//     is a sound over-approximation of the inferred one.
 //   - lints: tradeoff hygiene — unused/unreachable tradeoffs, knobs whose
 //     declared range can never be exercised, and function tradeoffs whose
 //     variants disagree in signature.
@@ -108,7 +112,7 @@ type Pass struct {
 
 // Passes returns the IR passes in execution order.
 func Passes() []*Pass {
-	return []*Pass{VerifyPass, EffectsPass, LintsPass}
+	return []*Pass{VerifyPass, EffectsPass, FootprintsPass, LintsPass}
 }
 
 // Analyze runs every IR pass over m and returns the findings in a

@@ -259,7 +259,40 @@ func callName(fun ast.Expr) (string, bool) {
 // identifier is captured from the enclosing scope (not a parameter and
 // not declared inside the literal).
 func capturedWrites(fset *token.FileSet, fl *ast.FuncLit) []Diagnostic {
-	local := map[string]bool{"_": true}
+	local := localNames(fl)
+
+	var out []Diagnostic
+	report := func(target ast.Expr) {
+		base, ok := baseIdent(target)
+		if !ok || local[base.Name] {
+			return
+		}
+		out = append(out, diag(fset, target.Pos(), "specclosure",
+			"speculated closure mutates captured variable %s; the engine may run, re-execute or squash it concurrently — thread state through the state parameter instead", base.Name))
+	}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Tok != token.DEFINE {
+				for _, lhs := range s.Lhs {
+					report(lhs)
+				}
+			}
+		case *ast.IncDecStmt:
+			report(s.X)
+		}
+		return true
+	})
+	return out
+}
+
+// localNames collects every identifier a func literal declares —
+// parameters, named results, and any name introduced anywhere inside the
+// body (:=, var, range, nested literal params). Collecting them up front
+// over-approximates scoping, which can only suppress findings — the safe
+// direction for a syntactic checker.
+func localNames(fl *ast.FuncLit) map[string]bool {
+	local := map[string]bool{"_": true, "nil": true}
 	for _, field := range fl.Type.Params.List {
 		for _, name := range field.Names {
 			local[name.Name] = true
@@ -272,10 +305,6 @@ func capturedWrites(fset *token.FileSet, fl *ast.FuncLit) []Diagnostic {
 			}
 		}
 	}
-	// Every name declared anywhere inside the literal (:=, var, range,
-	// nested literal params) counts as local. Collecting them up front
-	// over-approximates scoping, which can only suppress findings —
-	// the safe direction for a syntactic checker.
 	ast.Inspect(fl.Body, func(n ast.Node) bool {
 		switch d := n.(type) {
 		case *ast.AssignStmt:
@@ -307,15 +336,158 @@ func capturedWrites(fset *token.FileSet, fl *ast.FuncLit) []Diagnostic {
 		}
 		return true
 	})
+	return local
+}
 
+// ReserveOpsLit flags reservation-protocol misuse inside ReserveOps
+// composite literals: a Footprint that returns a slice captured from the
+// enclosing scope (the engine holds footprints across the round, so a
+// shared slice aliases every invocation's reservation), a constant slot
+// index outside [0, NumSlots), and a Merge that mutates its src argument
+// (the committed winner's state, which other attempts still read).
+var ReserveOpsLit = &Analyzer{
+	Name: "reserveops",
+	Doc:  "ReserveOps misuse: aliased Footprint slice, out-of-range slot constant, Merge mutating src",
+	Run:  runReserveOps,
+}
+
+func runReserveOps(fset *token.FileSet, file *ast.File) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(file, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok || !isReserveOpsType(lit.Type) {
+			return true
+		}
+		fields := map[string]*ast.FuncLit{}
+		for _, el := range lit.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if fl, ok := kv.Value.(*ast.FuncLit); ok {
+				fields[key.Name] = fl
+			}
+		}
+		numSlots := constSlotCount(fields["NumSlots"])
+		if fp := fields["Footprint"]; fp != nil {
+			out = append(out, checkFootprintLit(fset, fp, numSlots)...)
+		}
+		if m := fields["Merge"]; m != nil {
+			out = append(out, checkMergeLit(fset, m)...)
+		}
+		return true
+	})
+	return out
+}
+
+// isReserveOpsType matches core.ReserveOps / ReserveOps, possibly wrapped
+// in an explicit instantiation (ReserveOps[I, S]{...} parses as an
+// IndexListExpr around the type name).
+func isReserveOpsType(t ast.Expr) bool {
+	switch tt := t.(type) {
+	case *ast.SelectorExpr:
+		return tt.Sel.Name == "ReserveOps"
+	case *ast.Ident:
+		return tt.Name == "ReserveOps"
+	case *ast.IndexExpr:
+		return isReserveOpsType(tt.X)
+	case *ast.IndexListExpr:
+		return isReserveOpsType(tt.X)
+	}
+	return false
+}
+
+// constSlotCount extracts N from a NumSlots literal of the form
+// func(...) int { return N }; -1 means the count is not a syntactic
+// constant.
+func constSlotCount(fl *ast.FuncLit) int {
+	if fl == nil || len(fl.Body.List) != 1 {
+		return -1
+	}
+	ret, ok := fl.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return -1
+	}
+	return intLitValue(ret.Results[0])
+}
+
+// intLitValue evaluates a non-negative integer literal; -1 otherwise.
+func intLitValue(e ast.Expr) int {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return -1
+	}
+	n := 0
+	for _, c := range lit.Value {
+		if c < '0' || c > '9' {
+			return -1
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// checkFootprintLit inspects a Footprint literal for captured-slice
+// returns and out-of-range constant indices.
+func checkFootprintLit(fset *token.FileSet, fl *ast.FuncLit, numSlots int) []Diagnostic {
+	local := localNames(fl)
+	var out []Diagnostic
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				if id, ok := res.(*ast.Ident); ok && !local[id.Name] {
+					out = append(out, diag(fset, res.Pos(), "reserveops",
+						"Footprint returns captured slice %s; the engine holds footprints across the round, so every invocation would alias one slice — return a fresh slice per call", id.Name))
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range s.Elts {
+				v := intLitValue(el)
+				if u, ok := el.(*ast.UnaryExpr); ok && u.Op == token.SUB && intLitValue(u.X) >= 0 {
+					out = append(out, diag(fset, el.Pos(), "reserveops",
+						"negative slot index in Footprint; reservation slots are [0, NumSlots)"))
+					continue
+				}
+				if v >= 0 && numSlots >= 0 && v >= numSlots {
+					out = append(out, diag(fset, el.Pos(), "reserveops",
+						"constant slot index %d with NumSlots %d; reservation slots are [0, NumSlots)", v, numSlots))
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkMergeLit flags assignments through Merge's second parameter (src,
+// the committed winner's state — attempts merging later still read it).
+func checkMergeLit(fset *token.FileSet, fl *ast.FuncLit) []Diagnostic {
+	var params []string
+	for _, field := range fl.Type.Params.List {
+		for _, name := range field.Names {
+			params = append(params, name.Name)
+		}
+	}
+	if len(params) < 2 {
+		return nil
+	}
+	src := params[1]
 	var out []Diagnostic
 	report := func(target ast.Expr) {
 		base, ok := baseIdent(target)
-		if !ok || local[base.Name] {
+		if !ok || base.Name != src {
 			return
 		}
-		out = append(out, diag(fset, target.Pos(), "specclosure",
-			"speculated closure mutates captured variable %s; the engine may run, re-execute or squash it concurrently — thread state through the state parameter instead", base.Name))
+		if _, isBare := target.(*ast.Ident); isBare {
+			return // rebinding the local src variable, not mutating through it
+		}
+		out = append(out, diag(fset, target.Pos(), "reserveops",
+			"Merge mutates its src argument %s; src is the committed winner's state and later merges still read it — write into dst only", src))
 	}
 	ast.Inspect(fl.Body, func(n ast.Node) bool {
 		switch s := n.(type) {

@@ -1,6 +1,6 @@
 // Package apivet holds the statsvet analyzers for runtime-API misuse in
 // user Go code — the mistakes that compile fine, run fine, and quietly
-// disable or corrupt speculation. Three analyzers ship:
+// disable or corrupt speculation. Four analyzers ship:
 //
 //   - negopts: a negative GroupSize/Window/RedoMax/Rollback/Workers in an
 //     engine options literal. The engine clamps negatives to their floor,
@@ -13,6 +13,11 @@
 //     variable captured from the enclosing scope. Speculated closures run
 //     concurrently and may be re-executed or squashed; state must flow
 //     through the state parameter, not shared captures.
+//   - reserveops: misuse inside a ReserveOps literal — a Footprint that
+//     returns a slice captured from the enclosing scope (footprints are
+//     held across the round, so invocations would alias one slice), a
+//     constant slot index outside [0, NumSlots), or a Merge that mutates
+//     its src argument (the committed winner's state).
 //
 // The analyzers are deliberately syntactic (stdlib go/ast only, no
 // golang.org/x/tools dependency, which keeps them usable in hermetic
@@ -60,7 +65,7 @@ type Analyzer struct {
 
 // Analyzers returns the runtime-API analyzers in execution order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{NegOpts, DroppedStats, SpecClosure}
+	return []*Analyzer{NegOpts, DroppedStats, SpecClosure, ReserveOpsLit}
 }
 
 // AnalyzeFile runs every analyzer over one parsed file.

@@ -76,17 +76,22 @@ func EffectSets(m *ir.Module) map[string]*EffectSet {
 		for i, in := range f.Instrs {
 			site := Site{Fn: name, Instr: i, Pos: in.Pos}
 			switch in.Op {
-			case ir.StateRead:
+			case ir.StateRead, ir.StateReadIdx:
 				if _, ok := s.StateReads[in.Name]; !ok {
 					s.StateReads[in.Name] = site
 				}
-			case ir.StateWrite:
+			case ir.StateWrite, ir.StateWriteIdx:
 				if _, ok := s.StateWrites[in.Name]; !ok {
 					s.StateWrites[in.Name] = site
 				}
 			case ir.InputRead:
 				if in.Index > s.MaxInput {
 					s.MaxInput, s.InputSite = in.Index, site
+				}
+			case ir.InputField:
+				// A field projection of the current input: offset 0.
+				if s.MaxInput < 0 {
+					s.MaxInput, s.InputSite = 0, site
 				}
 			}
 		}

@@ -16,11 +16,17 @@ import (
 // mid-end and asserts the analysis contract on whatever comes out:
 //
 //  1. the passes never panic, whatever the program shape;
-//  2. the pipeline never produces a module the verifier rejects — a
-//     Check error on pipeline output is a compiler bug, not a user bug;
+//  2. the pipeline never produces a module the verifier rejects, with
+//     one carve-out: footprints errors are user bugs expressible in
+//     grammatical source (a declared reservation that under-approximates
+//     the touches), so only non-footprints Check errors are compiler
+//     bugs;
 //  3. every verifier-accepted module is accepted by the back-end
 //     (Compile + Validate), i.e. the static gate is not weaker than the
-//     layer behind it.
+//     layer behind it;
+//  4. the footprint inference satisfies its own soundness invariant on
+//     every pipeline output: each inferred access is covered by the
+//     footprint set inferred for its dependence.
 //
 // The raw fuzz bytes are also tried directly as a JSON IR document, so
 // the verifier is additionally exercised on arbitrary well-typed but
@@ -48,8 +54,30 @@ func FuzzVerify(f *testing.F) {
 			return
 		}
 		ds := AnalyzeProgram(fo, m)
-		if err := Check(m); err != nil {
-			t.Fatalf("pipeline output fails the verifier:\nsource:\n%s\nerror: %v\nall findings: %v", src, err, ds)
+		userRejected := false
+		for _, d := range Analyze(m) {
+			if d.Severity != Error {
+				continue
+			}
+			if d.Pass == "footprints" {
+				userRejected = true // a lying declared footprint, legal source
+				continue
+			}
+			t.Fatalf("pipeline output fails the verifier:\nsource:\n%s\nerror: %v\nall findings: %v", src, d, ds)
+		}
+		// The footprint inference must hold its own soundness invariant on
+		// every pipeline output: each inferred access is covered by the
+		// inferred footprint set it belongs to (and the pass itself ran
+		// without panicking inside AnalyzeProgram above).
+		for _, fp := range InferFootprints(m) {
+			for _, acc := range append(append([]Access(nil), fp.Reads...), fp.Writes...) {
+				if !covered(fp.Exprs(), acc.Expr) {
+					t.Fatalf("inferred footprint does not cover its own access %s:\nsource:\n%s\nfootprint: %+v", acc.Expr.String(), src, fp)
+				}
+			}
+		}
+		if userRejected {
+			return // the vet gate rejected the module; backend acceptance is moot
 		}
 		prog, err := backend.Compile(m, backend.Config{}, 0)
 		if err != nil {
@@ -131,6 +159,28 @@ func genSource(data []byte) string {
 		}
 		if next()%2 == 1 {
 			fmt.Fprintf(&b, "    window %d;\n", 1+next()%5)
+		}
+		if next()%2 == 1 {
+			k := 2 + next()%5
+			idx := func() string {
+				switch next() % 4 {
+				case 0:
+					return fmt.Sprintf("%d", next()%(k+2)) // sometimes out of range
+				case 1:
+					return fmt.Sprintf("sl%d", i)
+				case 2:
+					return fmt.Sprintf("%d*sl%d", 2+next()%2, i)
+				default:
+					return fmt.Sprintf("sl%d+%d", i, 1+next()%3)
+				}
+			}
+			fmt.Fprintf(&b, "    slots %d;\n", k)
+			for j := 1 + next()%2; j > 0; j-- {
+				fmt.Fprintf(&b, "    reserve %s;\n", idx())
+			}
+			for j := next() % 3; j > 0; j-- {
+				fmt.Fprintf(&b, "    touches %s;\n", idx())
+			}
 		}
 		b.WriteString("}\n\n")
 	}

@@ -72,7 +72,8 @@ func verifyFunction(m *ir.Module, f *ir.Function, tradeoffAt map[string]int) []D
 		wantArgs, checkArity := map[ir.Opcode]int{
 			ir.Const: 0, ir.Param: 0, ir.Add: 2, ir.Mul: 2, ir.Ret: 1,
 			ir.Call: 0, ir.Placeholder: 0, ir.TypeUse: 0,
-			ir.StateRead: 0, ir.InputRead: 0,
+			ir.StateRead: 0, ir.InputRead: 0, ir.InputField: 0,
+			ir.StateReadIdx: 1, ir.StateWriteIdx: 1,
 		}[in.Op], in.Op != ir.Extern && in.Op != ir.StateWrite
 		if checkArity && len(in.Args) != wantArgs {
 			ds = append(ds, errAt("verify", f, i, "",
@@ -110,9 +111,13 @@ func verifyFunction(m *ir.Module, f *ir.Function, tradeoffAt map[string]int) []D
 			if in.Op == ir.TypeUse && in.Name == "" {
 				ds = append(ds, errAt("verify", f, i, "", "typeuse without a variable name"))
 			}
-		case ir.StateRead, ir.StateWrite:
+		case ir.StateRead, ir.StateWrite, ir.StateReadIdx, ir.StateWriteIdx:
 			if in.Name == "" {
 				ds = append(ds, errAt("verify", f, i, "", "%s without a state variable name", in.Op))
+			}
+		case ir.InputField:
+			if in.Name == "" {
+				ds = append(ds, errAt("verify", f, i, "", "inputfield without a field name"))
 			}
 		}
 
@@ -234,6 +239,14 @@ func verifyDeps(m *ir.Module) []Diagnostic {
 		if d.Window < 0 {
 			ds = append(ds, metaDiag("verify", Error, d.Pos, d.Name,
 				"state dependence %s has negative window %d", d.Name, d.Window))
+		}
+		if d.Slots < 0 {
+			ds = append(ds, metaDiag("verify", Error, d.Pos, d.Name,
+				"state dependence %s has negative slot count %d", d.Name, d.Slots))
+		}
+		if len(d.Reserve) > 0 && d.Slots == 0 {
+			ds = append(ds, metaDiag("verify", Error, d.Pos, d.Name,
+				"state dependence %s declares a reservation footprint without a slot count", d.Name))
 		}
 		orig, ok := m.Functions[d.Compute]
 		if !ok {

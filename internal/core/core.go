@@ -122,6 +122,16 @@ type Options struct {
 	// (pool workers use negative lanes, so any non-negative spacing of
 	// 1+maxGroups works).
 	SchedLane int
+	// FootprintCheck enables the dynamic footprint oracle under
+	// ProtocolReservations: when the dependence's ReserveOps provides a
+	// Touched hook, every winner's actually-touched slots are
+	// cross-checked against its declared Footprint before commit. A
+	// violation squashes the group (like a contained panic), falls back
+	// to sequential re-execution, and counts in
+	// Stats.FootprintViolations — the sanitizer catching what static
+	// ⊤-widening lets through. Debug mode: it pays one extra state
+	// clone per invocation.
+	FootprintCheck bool
 }
 
 // Stats reports what the runtime did during a run. The profiler and the
@@ -176,6 +186,10 @@ type Stats struct {
 	// ReservationConflicts counts inputs that lost a reserved slot to a
 	// lower-indexed input and carried forward into a later round.
 	ReservationConflicts int
+	// FootprintViolations counts state slots the FootprintCheck oracle
+	// caught a compute touching outside its declared reservation
+	// footprint (0 unless Options.FootprintCheck is set).
+	FootprintViolations int
 
 	// Scheduler counters, deltas over this run of the worker pool's
 	// sharded work-stealing dispatcher (§3.4 runtime). Steals are
@@ -363,9 +377,10 @@ type execution[S, O any] struct {
 type groupFailure int
 
 const (
-	failNone    groupFailure = iota
-	failPanic                // user code panicked (contained)
-	failTimeout              // the lane exceeded Options.GroupTimeout
+	failNone      groupFailure = iota
+	failPanic                  // user code panicked (contained)
+	failTimeout                // the lane exceeded Options.GroupTimeout
+	failFootprint              // the FootprintCheck oracle caught a lying footprint
 )
 
 // groupRun holds the state of one input group during a speculative run.

@@ -253,6 +253,14 @@ func TestWholeStateReservations(t *testing.T) {
 // sequential run exactly, and the aux protocol must be run-to-run
 // deterministic at the same point (committed outputs are timing-free).
 func TestProtocolDifferentialWorkloads(t *testing.T) {
+	// The slotted formulations: their reservation runs must show real
+	// multi-slot overlap (several commits per round), and the footprint
+	// oracle — enabled on every reservations leg — must stay silent on
+	// their declared (sound) footprints.
+	slotted := map[string]bool{
+		"swaptions": true, "streamcluster": true,
+		"fluidanimate": true, "streamclassifier": true,
+	}
 	for _, w := range registry.Targets() {
 		w := w
 		t.Run(w.Desc().Name, func(t *testing.T) {
@@ -265,6 +273,7 @@ func TestProtocolDifferentialWorkloads(t *testing.T) {
 					resvOpts := workload.SpecOptions{
 						UseAux: true, Protocol: core.ProtocolReservations,
 						GroupSize: cfg.g, Window: cfg.win, Workers: cfg.workers,
+						FootprintCheck: true,
 					}
 					seqOpts := resvOpts
 					seqOpts.UseAux = false
@@ -277,6 +286,17 @@ func TestProtocolDifferentialWorkloads(t *testing.T) {
 					}
 					if st.Aborts != 0 {
 						t.Fatalf("%s: clean run aborted (%+v)", name, st)
+					}
+					if st.FootprintViolations != 0 {
+						t.Fatalf("%s: oracle flagged a declared footprint (%+v)", name, st)
+					}
+					if slotted[w.Desc().Name] {
+						if st.Rounds == 0 || st.SpeculativeCommits == 0 {
+							t.Fatalf("%s: slotted workload showed no speculative rounds (%+v)", name, st)
+						}
+						if cfg.g >= 4 && float64(st.UsefulInvocations)/float64(st.Rounds) <= 1 {
+							t.Fatalf("%s: slots are not overlapping commits (%+v)", name, st)
+						}
 					}
 
 					auxOpts := workload.SpecOptions{

@@ -96,11 +96,20 @@ type ReserveOps[I, S any] struct {
 	// merged state. dst is a private clone; src is a winner's returned
 	// state; only the winner's footprint slots may be taken from it.
 	Merge func(dst, src S, slots []int) S
+	// Touched is the optional hook behind the Options.FootprintCheck
+	// oracle: given the state a compute started from and the state it
+	// returned, it reports the slots whose contents differ. When set and
+	// the oracle is enabled, every winner's touched slots are
+	// cross-checked against its declared Footprint before commit; a slot
+	// touched but not declared squashes the group and falls back
+	// sequentially. Writes that happen to store the old value back are
+	// invisible to a state diff, so Touched is a sanitizer, not a proof.
+	Touched func(before, after S) []int
 }
 
 // WithReserve attaches reservation ops to the dependence, enabling
-// slot-level parallelism under ProtocolReservations. All three methods
-// are required; it returns d for chaining.
+// slot-level parallelism under ProtocolReservations. NumSlots, Footprint
+// and Merge are required (Touched is optional); it returns d for chaining.
 func (d *Dependence[I, S, O]) WithReserve(ops ReserveOps[I, S]) *Dependence[I, S, O] {
 	if ops.NumSlots == nil || ops.Footprint == nil || ops.Merge == nil {
 		panic("core: WithReserve needs NumSlots, Footprint and Merge")
@@ -149,6 +158,9 @@ type resvRun[I, S, O any] struct {
 	failArg int64
 
 	invocations atomic.Int64
+	// fpViolations counts slots the FootprintCheck oracle caught being
+	// touched outside a declared footprint.
+	fpViolations atomic.Int64
 	// committed counts inputs committed by the protocol (not fallback).
 	committed int
 	shared    S
@@ -227,6 +239,7 @@ func (r *resvRun[I, S, O]) run(numGroups, g int) ([]O, S, Stats) {
 	}
 	r.st.Invocations += r.invocations.Load()
 	r.st.UsefulInvocations += int64(r.committed)
+	r.st.FootprintViolations += int(r.fpViolations.Load())
 	captureScheduler(r.st, r.p, r.poolBase)
 	return r.outs, r.shared, *r.st
 }
@@ -323,11 +336,40 @@ func (r *resvRun[I, S, O]) runGroup(j, start, end int) (bool, []int) {
 				return
 			}
 			snap := r.d.ops.Clone(r.shared)
+			// The oracle needs its own pristine clone: compute may mutate
+			// snap in place, so snap cannot serve as the "before" state.
+			oracle := r.opts.FootprintCheck && r.d.reserve != nil && r.d.reserve.Touched != nil
+			var before S
+			if oracle {
+				before = r.d.ops.Clone(r.shared)
+			}
 			src := r.srcs[i]
 			out, next := r.d.compute(&src, r.inputs[i], snap)
 			r.invocations.Add(1)
 			r.outs[i] = out
 			states[k] = next
+			if oracle {
+				declared := make(map[int]bool, len(fps[k]))
+				for _, sl := range fps[k] {
+					declared[sl] = true
+				}
+				for _, sl := range r.d.reserve.Touched(before, next) {
+					if declared[sl] {
+						continue
+					}
+					// A lying footprint: the winner touched a slot it never
+					// reserved, so this round's winner set is not conflict-
+					// free. Nothing from the round commits (the group breaks
+					// before commitRound) and the pending inputs re-run
+					// sequentially from the committed state.
+					r.fpViolations.Add(1)
+					if r.o != nil {
+						r.o.FootprintViolations.Inc()
+						r.o.Tracer.Emit(lane, obs.EvFootprintViolation, int32(j), int64(sl))
+					}
+					r.failed.CompareAndSwap(int32(failNone), int32(failFootprint))
+				}
+			}
 		})
 		if r.failed.Load() != int32(failNone) {
 			break
@@ -526,6 +568,10 @@ func (r *resvRun[I, S, O]) abort(j, numGroups, g, start, end int, pending []int)
 			r.o.GroupTimeouts.Inc()
 			r.o.Tracer.Emit(obs.LaneCoord, obs.EvGroupTimeout, int32(j), r.failArg)
 		}
+	case failFootprint:
+		// The oracle already counted each offending slot (and emitted
+		// EvFootprintViolation per slot); only the shared abort/squash/
+		// fallback bookkeeping below remains.
 	}
 	r.st.Aborts++
 	if r.o != nil {

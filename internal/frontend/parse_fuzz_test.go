@@ -37,6 +37,15 @@ func renderCanonical(out *Output) string {
 		if d.Window > 0 {
 			fmt.Fprintf(&b, "window %d;\n", d.Window)
 		}
+		if d.Slots > 0 {
+			fmt.Fprintf(&b, "slots %d;\n", d.Slots)
+		}
+		for _, e := range d.Reserve {
+			fmt.Fprintf(&b, "reserve %s;\n", e)
+		}
+		for _, e := range d.Touches {
+			fmt.Fprintf(&b, "touches %s;\n", e)
+		}
 		b.WriteString("}\n")
 	}
 	return b.String()
@@ -53,9 +62,25 @@ func stripLines(out *Output) ([]TradeoffDecl, []DepDecl) {
 	ds := make([]DepDecl, len(out.Deps))
 	for i, d := range out.Deps {
 		d.Line, d.Col = 0, 0
+		d.Reserve = stripIndexLines(d.Reserve)
+		d.Touches = stripIndexLines(d.Touches)
 		ds[i] = d
 	}
 	return ts, ds
+}
+
+// stripIndexLines zeroes the per-entry source lines of reserve/touches
+// declarations (copying the slice, so the original Output is untouched).
+func stripIndexLines(es []IndexDecl) []IndexDecl {
+	if es == nil {
+		return nil
+	}
+	out := make([]IndexDecl, len(es))
+	for i, e := range es {
+		e.Line = 0
+		out[i] = e
+	}
+	return out
 }
 
 // FuzzParse fuzzes the tradeoff/statedep block parser with a stronger
@@ -82,6 +107,11 @@ func FuzzParse(f *testing.F) {
 		"statedep d {\n input I;\n state S;\n output O;\n compute f uses A uses B;\n}\n",
 		"tradeoff broken {\n kind banana;\n}\n",
 		"statedep d {\n compute f;\n}\n",
+		"statedep d {\n input I;\n state S;\n output O;\n compute f;\n slots 4;\n reserve shard;\n touches shard;\n}\n",
+		"statedep d {\n input I;\n state S;\n output O;\n compute f;\n slots 8;\n reserve 2*blk+1;\n touches 2*blk;\n touches 3;\n}\n",
+		"statedep d {\n input I;\n state S;\n output O;\n compute f;\n reserve x;\n}\n", // reserve without slots
+		"statedep d {\n input I;\n state S;\n output O;\n compute f;\n slots 0;\n}\n",   // slots without reserve
+		"statedep d {\n input I;\n state S;\n output O;\n compute f;\n slots 4;\n reserve 1*x+0;\n}\n",
 	}
 	for _, s := range seeds {
 		f.Add(s)

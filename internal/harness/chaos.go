@@ -75,6 +75,10 @@ type ChaosScenario struct {
 	// Protocol selects the speculation protocol the scenario runs under
 	// (the zero value is the default aux protocol).
 	Protocol core.Protocol
+	// FootprintLie switches the scenario to the slotted dependence whose
+	// compute touches a state slot its declared footprint omits, with the
+	// runtime footprint oracle armed (Options.FootprintCheck).
+	FootprintLie bool
 	// GroupTimeout is passed to the engine (0 disables deadlines).
 	GroupTimeout time.Duration
 	// Breaker attaches a fresh circuit breaker across the scenario's runs.
@@ -96,6 +100,11 @@ type ChaosResult struct {
 	// protocol); nonzero proves a reservations scenario actually engaged
 	// the reserve/check/commit machinery before its faults landed.
 	Rounds int
+	// FootprintViolations sums the runtime footprint oracle's catches
+	// (undeclared slot touches) over the runs; EventFootprints is the
+	// event-log total of the same occurrences.
+	FootprintViolations int
+	EventFootprints     int64
 	// BreakerTrips is the breaker's lifetime trip count (0 without one).
 	BreakerTrips int64
 	// EventPanics and EventTimeouts are the event-log totals (EvPanic /
@@ -127,6 +136,12 @@ func chaosScenarios(seed uint64) []ChaosScenario {
 		// round is squashed and the group falls back sequentially — outputs
 		// must still be byte-identical to the uninjected baseline.
 		{Name: "reservations transient", Cfg: fault.Config{Seed: seed + 6, ComputePanicRate: 0.25}, ComputeOnce: true, Protocol: core.ProtocolReservations, Runs: 3},
+		// A dependence that lies about its reservation footprint: the
+		// compute touches a neighbor slot the footprint never declared.
+		// The runtime oracle must catch the undeclared touch before it
+		// commits, squash the group, and fall back sequentially — so
+		// outputs still match the uninjected baseline exactly.
+		{Name: "lying footprint", Cfg: fault.Config{Seed: seed + 7}, Protocol: core.ProtocolReservations, FootprintLie: true, Runs: 3},
 	}
 }
 
@@ -150,13 +165,124 @@ func ChaosRun(e *Env) ([]ChaosResult, error) {
 
 	var out []ChaosResult
 	for _, sc := range chaosScenarios(e.Seed) {
-		r, err := chaosScenarioRun(sc, inputs, baseOuts, baseFinal, workers, groupSize)
+		var r ChaosResult
+		var err error
+		if sc.FootprintLie {
+			r, err = chaosFootprintRun(sc, inputs, workers, groupSize)
+		} else {
+			r, err = chaosScenarioRun(sc, inputs, baseOuts, baseFinal, workers, groupSize)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("chaos %s: %w", sc.Name, err)
 		}
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// chaosLieSlots is the slot count of the lying-footprint dependence.
+const chaosLieSlots = 4
+
+// chaosLieCompute is the slotted dependence with the seeded footprint
+// bug: every input updates its own slot, but every seventh input also
+// bumps the neighbor slot — a touch the declared footprint omits.
+func chaosLieCompute(_ *rng.Source, in int, st []float64) (int, []float64) {
+	st[in%chaosLieSlots] += float64(in)
+	if in%7 == 3 {
+		st[(in+1)%chaosLieSlots]++ // the lie: undeclared neighbor write
+	}
+	return in*2 + int(st[in%chaosLieSlots]), st
+}
+
+// chaosLieDep builds the dependence whose ReserveOps declare only the
+// input's own slot, with the Touched hook the oracle needs.
+func chaosLieDep() *core.Dependence[int, []float64, int] {
+	ops := core.StateOps[[]float64]{
+		Clone: func(s []float64) []float64 { return append([]float64(nil), s...) },
+	}
+	return core.New(chaosLieCompute, nil, ops).WithReserve(core.ReserveOps[int, []float64]{
+		NumSlots:  func(initial []float64) int { return len(initial) },
+		Footprint: func(in int, _ []float64) []int { return []int{in % chaosLieSlots} },
+		Merge: func(dst, src []float64, slots []int) []float64 {
+			for _, sl := range slots {
+				dst[sl] = src[sl]
+			}
+			return dst
+		},
+		Touched: func(before, after []float64) []int {
+			var out []int
+			for i := range before {
+				if before[i] != after[i] {
+					out = append(out, i)
+				}
+			}
+			return out
+		},
+	})
+}
+
+// chaosFootprintRun executes the lying-footprint scenario: reservations
+// with the footprint oracle armed over a compute whose declared footprint
+// under-approximates its touches. The oracle must fire, the poisoned
+// rounds must be squashed before commit, and the sequential fallback must
+// keep the outputs byte-identical to the uninjected baseline.
+func chaosFootprintRun(sc ChaosScenario, inputs []int, workers, groupSize int) (ChaosResult, error) {
+	ob := obs.NewObserver(workers+1, 1<<14)
+	srv := telemetry.NewServer(telemetry.Config{Observer: ob})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return ChaosResult{}, err
+	}
+	defer srv.Close()
+
+	baseOuts, baseFinal, _ := chaosLieDep().Run(inputs, make([]float64, chaosLieSlots), core.Options{})
+
+	res := ChaosResult{Name: sc.Name, Runs: sc.Runs, OutputsIdentical: true}
+	for run := 0; run < sc.Runs; run++ {
+		outs, final, st, err := chaosLieDep().RunChecked(inputs, make([]float64, chaosLieSlots), core.Options{
+			UseAux: true, Protocol: core.ProtocolReservations, FootprintCheck: true,
+			GroupSize: groupSize, Workers: workers,
+			Seed: sc.Cfg.Seed + uint64(run), Obs: ob,
+		})
+		if err != nil {
+			return res, fmt.Errorf("run %d escaped containment: %w", run, err)
+		}
+		if len(final) != len(baseFinal) || !equalInts(outs, baseOuts) {
+			res.OutputsIdentical = false
+		} else {
+			for i := range final {
+				if final[i] != baseFinal[i] {
+					res.OutputsIdentical = false
+				}
+			}
+		}
+		res.PanickedGroups += st.PanickedGroups
+		res.TimedOutGroups += st.TimedOutGroups
+		res.Aborts += st.Aborts
+		res.Rounds += st.Rounds
+		res.FootprintViolations += st.FootprintViolations
+
+		if _, err := scrapeOnce(srv.URL()); err != nil {
+			return res, fmt.Errorf("mid-run scrape: %w", err)
+		}
+		res.MidScrapes++
+	}
+
+	for _, ev := range ob.Tracer.Snapshot() {
+		if ev.Kind == obs.EvFootprintViolation {
+			res.EventFootprints++
+		}
+	}
+	final, err := scrapeOnce(srv.URL())
+	if err != nil {
+		return res, fmt.Errorf("final scrape: %w", err)
+	}
+	v, _ := final.Value("stats_footprint_violations_total")
+	res.Reconciled = int64(res.FootprintViolations) == ob.FootprintViolations.Value() &&
+		int64(res.FootprintViolations) == int64(v)
+	if ob.Tracer.Dropped() == 0 {
+		res.Reconciled = res.Reconciled && res.EventFootprints == int64(res.FootprintViolations)
+	}
+	return res, nil
 }
 
 // chaosScenarioRun executes one scenario under a live telemetry server.
@@ -293,7 +419,7 @@ func ChaosTable(e *Env) (*Table, error) {
 		Title: "Chaos — injected faults vs the §3.1 output guarantee",
 		Columns: []string{
 			"runs", "injected", "panicked", "timed out", "aborts",
-			"denied", "trips", "output ok", "reconciled",
+			"denied", "trips", "fpviol", "output ok", "reconciled",
 		},
 	}
 	for _, r := range res {
@@ -306,10 +432,11 @@ func ChaosTable(e *Env) (*Table, error) {
 			fmt.Sprintf("%d", r.Aborts),
 			fmt.Sprintf("%d", r.BreakerDenied),
 			fmt.Sprintf("%d", r.BreakerTrips),
+			fmt.Sprintf("%d", r.FootprintViolations),
 			fmt.Sprintf("%v", r.OutputsIdentical),
 			fmt.Sprintf("%v", r.Reconciled),
 		)
 	}
-	t.AddNote("each scenario injects seeded faults (aux panics, garbage speculative states, transient compute panics, delays) into a deterministic prefix-sum dependence and requires: no crash, outputs byte-identical to the uninjected sequential baseline, and failure counters reconciling across engine Stats, the event log, and a live /metrics scrape")
+	t.AddNote("each scenario injects seeded faults (aux panics, garbage speculative states, transient compute panics, delays, a lying reservation footprint) into a deterministic dependence and requires: no crash, outputs byte-identical to the uninjected sequential baseline, and failure counters reconciling across engine Stats, the event log, and a live /metrics scrape")
 	return t, nil
 }

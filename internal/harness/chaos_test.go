@@ -47,6 +47,9 @@ func TestChaosCampaign(t *testing.T) {
 	if r := byName["reservations transient"]; r.ComputePanics == 0 || r.PanickedGroups < int(r.ComputePanics) || r.Rounds == 0 {
 		t.Errorf("reservations transient: injected %d, panicked groups %d, rounds %d; want the panic landing mid-round", r.ComputePanics, r.PanickedGroups, r.Rounds)
 	}
+	if r := byName["lying footprint"]; r.FootprintViolations == 0 || r.Rounds == 0 {
+		t.Errorf("lying footprint: %d violations caught over %d rounds; want the oracle firing", r.FootprintViolations, r.Rounds)
+	}
 }
 
 // TestChaosDeterministicInjection re-runs one scenario and requires the

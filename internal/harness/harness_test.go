@@ -69,6 +69,26 @@ func TestTable1Shapes(t *testing.T) {
 			t.Fatalf("%s: protocol race not timed: aux %d resv %d", r.Name, r.AuxWallNS, r.ResvWallNS)
 		}
 	}
+	// The slotted formulations (swaptions per-instrument, streamcluster
+	// shards, fluidanimate sub-fluids, streamclassifier ensemble) must
+	// actually overlap commits under reservations: more than one input
+	// committed per round on average, not the single-slot serialized
+	// fallback.
+	slotted := map[string]bool{
+		"swaptions": true, "streamcluster": true,
+		"fluidanimate": true, "streamclassifier": true,
+	}
+	for _, r := range res {
+		if !slotted[r.Name] {
+			continue
+		}
+		if r.ResvRounds == 0 {
+			t.Fatalf("%s: no reservation rounds formed", r.Name)
+		}
+		if r.ResvCommitsPerRound <= 1 {
+			t.Fatalf("%s: %.2f commits/round under reservations; slots are not overlapping commits", r.Name, r.ResvCommitsPerRound)
+		}
+	}
 }
 
 func TestFig12And13Shapes(t *testing.T) {

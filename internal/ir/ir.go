@@ -53,11 +53,23 @@ const (
 	// invocation (0 = the most recent input). Auxiliary code may only
 	// read offsets inside its dependence's declared window.
 	InputRead
+	// InputField reads the integer field named by Name from the current
+	// input — the value slot-index expressions are affine in. The footprint
+	// analysis models it as the symbolic variable of its affine domain.
+	InputField
+	// StateReadIdx reads one element of the state variable named by Name;
+	// Args[0] is the instruction computing the element index. The footprint
+	// analysis resolves the index to an affine expression over the input
+	// (or widens to whole-state when it cannot).
+	StateReadIdx
+	// StateWriteIdx writes one element of the state variable named by Name;
+	// Args[0] is the instruction computing the element index.
+	StateWriteIdx
 )
 
 // opcodeCount is the number of defined opcodes; the verifier rejects
 // instructions outside [0, opcodeCount).
-const opcodeCount = int(InputRead) + 1
+const opcodeCount = int(StateWriteIdx) + 1
 
 // Valid reports whether o is a defined opcode.
 func (o Opcode) Valid() bool { return int(o) >= 0 && int(o) < opcodeCount }
@@ -89,6 +101,12 @@ func (o Opcode) String() string {
 		return "statewrite"
 	case InputRead:
 		return "inputread"
+	case InputField:
+		return "inputfield"
+	case StateReadIdx:
+		return "statereadidx"
+	case StateWriteIdx:
+		return "statewriteidx"
 	default:
 		return fmt.Sprintf("Opcode(%d)", int(o))
 	}
@@ -212,6 +230,58 @@ type TradeoffMeta struct {
 	Pos Pos
 }
 
+// IndexExpr is one declared slot-footprint entry: either the whole state
+// (Whole), or the affine index Stride*Field+Offset over one integer input
+// field (Field == "" makes it the constant Offset). It is the footprint
+// analysis's abstract domain element, shared between declared reservations
+// (DepMeta.Reserve) and inferred accesses.
+type IndexExpr struct {
+	// Whole marks the ⊤ element: the entry covers every state slot.
+	Whole bool
+	// Field names the input field the index is affine in; "" means the
+	// index is the constant Offset.
+	Field string
+	// Stride scales Field (ignored when Field is "").
+	Stride int64
+	// Offset is the additive constant.
+	Offset int64
+	// Pos is the source position of the declaration or access.
+	Pos Pos
+}
+
+// String renders the expression in the front-end's concrete syntax.
+func (e IndexExpr) String() string {
+	switch {
+	case e.Whole:
+		return "*"
+	case e.Field == "":
+		return fmt.Sprintf("%d", e.Offset)
+	case e.Stride == 1 && e.Offset == 0:
+		return e.Field
+	case e.Stride == 1:
+		return fmt.Sprintf("%s+%d", e.Field, e.Offset)
+	case e.Offset == 0:
+		return fmt.Sprintf("%d*%s", e.Stride, e.Field)
+	default:
+		return fmt.Sprintf("%d*%s+%d", e.Stride, e.Field, e.Offset)
+	}
+}
+
+// Same reports whether two expressions denote the same slot set, ignoring
+// positions.
+func (e IndexExpr) Same(o IndexExpr) bool {
+	if e.Whole || o.Whole {
+		return e.Whole == o.Whole
+	}
+	if e.Field != o.Field {
+		return false
+	}
+	if e.Field == "" {
+		return e.Offset == o.Offset
+	}
+	return e.Stride == o.Stride && e.Offset == o.Offset
+}
+
 // DepMeta is one row of the state-dependence metadata table.
 type DepMeta struct {
 	Name    string
@@ -229,6 +299,15 @@ type DepMeta struct {
 	// recent inputs the dependence's auxiliary code may read. 0 means
 	// the declaration did not bound it.
 	Window int
+	// Slots is the declared number of state slots the dependence's
+	// reservations decompose into; 0 means the state is not slotted
+	// (whole-state single-slot reservations).
+	Slots int
+	// Reserve is the declared slot footprint: the index expressions the
+	// developer promises cover every state element the compute touches.
+	// The footprints analysis pass checks the promise against the
+	// inferred accesses.
+	Reserve []IndexExpr
 	// Pos is the source position of the statedep declaration.
 	Pos Pos
 }

@@ -48,18 +48,44 @@ type jsonTradeoff struct {
 	Col        int      `json:"col,omitempty"`
 }
 
+// jsonIndexExpr mirrors IndexExpr.
+type jsonIndexExpr struct {
+	Whole  bool   `json:"whole,omitempty"`
+	Field  string `json:"field,omitempty"`
+	Stride int64  `json:"stride,omitempty"`
+	Offset int64  `json:"offset,omitempty"`
+	Line   int    `json:"line,omitempty"`
+	Col    int    `json:"col,omitempty"`
+}
+
+func (j jsonIndexExpr) expr() IndexExpr {
+	return IndexExpr{
+		Whole: j.Whole, Field: j.Field, Stride: j.Stride, Offset: j.Offset,
+		Pos: Pos{Line: j.Line, Col: j.Col},
+	}
+}
+
+func toJSONIndexExpr(e IndexExpr) jsonIndexExpr {
+	return jsonIndexExpr{
+		Whole: e.Whole, Field: e.Field, Stride: e.Stride, Offset: e.Offset,
+		Line: e.Pos.Line, Col: e.Pos.Col,
+	}
+}
+
 // jsonDep mirrors DepMeta.
 type jsonDep struct {
-	Name       string `json:"name"`
-	Input      string `json:"input"`
-	State      string `json:"state"`
-	Output     string `json:"output"`
-	Compute    string `json:"compute"`
-	AuxCompute string `json:"auxCompute,omitempty"`
-	Compare    string `json:"compare,omitempty"`
-	Window     int    `json:"window,omitempty"`
-	Line       int    `json:"line,omitempty"`
-	Col        int    `json:"col,omitempty"`
+	Name       string          `json:"name"`
+	Input      string          `json:"input"`
+	State      string          `json:"state"`
+	Output     string          `json:"output"`
+	Compute    string          `json:"compute"`
+	AuxCompute string          `json:"auxCompute,omitempty"`
+	Compare    string          `json:"compare,omitempty"`
+	Window     int             `json:"window,omitempty"`
+	Slots      int             `json:"slots,omitempty"`
+	Reserve    []jsonIndexExpr `json:"reserve,omitempty"`
+	Line       int             `json:"line,omitempty"`
+	Col        int             `json:"col,omitempty"`
 }
 
 // jsonModule is the on-disk module document.
@@ -114,11 +140,15 @@ func (m *Module) EncodeJSON(w io.Writer) error {
 		})
 	}
 	for _, d := range m.Deps {
-		doc.Deps = append(doc.Deps, jsonDep{
+		jd := jsonDep{
 			Name: d.Name, Input: d.Input, State: d.State, Output: d.Output,
 			Compute: d.Compute, AuxCompute: d.AuxCompute, Compare: d.Compare,
-			Window: d.Window, Line: d.Pos.Line, Col: d.Pos.Col,
-		})
+			Window: d.Window, Slots: d.Slots, Line: d.Pos.Line, Col: d.Pos.Col,
+		}
+		for _, e := range d.Reserve {
+			jd.Reserve = append(jd.Reserve, toJSONIndexExpr(e))
+		}
+		doc.Deps = append(doc.Deps, jd)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -171,11 +201,15 @@ func DecodeJSON(r io.Reader) (*Module, error) {
 		})
 	}
 	for _, jd := range doc.Deps {
-		m.Deps = append(m.Deps, DepMeta{
+		d := DepMeta{
 			Name: jd.Name, Input: jd.Input, State: jd.State, Output: jd.Output,
 			Compute: jd.Compute, AuxCompute: jd.AuxCompute, Compare: jd.Compare,
-			Window: jd.Window, Pos: Pos{Line: jd.Line, Col: jd.Col},
-		})
+			Window: jd.Window, Slots: jd.Slots, Pos: Pos{Line: jd.Line, Col: jd.Col},
+		}
+		for _, je := range jd.Reserve {
+			d.Reserve = append(d.Reserve, je.expr())
+		}
+		m.Deps = append(m.Deps, d)
 	}
 	return m, nil
 }

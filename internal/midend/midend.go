@@ -105,11 +105,30 @@ func Lower(fo *frontend.Output) (*ir.Module, error) {
 		// The compute function's effect skeleton (Figure 4's pattern):
 		// read the current input, read the state, compute, write the
 		// state back. The effect pass proves the auxiliary clone stays
-		// inside exactly this footprint.
-		compute.Instrs = append(compute.Instrs,
-			ir.Instr{Op: ir.InputRead, Index: 0, Pos: pos},
-			ir.Instr{Op: ir.StateRead, Name: d.State, Pos: pos},
-		)
+		// inside exactly this footprint. When the dependence declares
+		// which slots it touches, the whole-state read/write pair is
+		// replaced by per-slot indexed accesses whose index expressions
+		// the footprint pass can evaluate abstractly.
+		compute.Instrs = append(compute.Instrs, ir.Instr{Op: ir.InputRead, Index: 0, Pos: pos})
+		indexed := len(d.Touches) > 0
+		for _, e := range d.Touches {
+			if e.Whole {
+				indexed = false // a whole-state touch subsumes the rest
+				break
+			}
+		}
+		var touchIdx []int
+		if indexed {
+			for _, e := range d.Touches {
+				epos := ir.Pos{Line: e.Line, Col: d.Col}
+				idx := lowerIndex(compute, e, epos)
+				touchIdx = append(touchIdx, idx)
+				compute.Instrs = append(compute.Instrs,
+					ir.Instr{Op: ir.StateReadIdx, Name: d.State, Args: []int{idx}, Pos: epos})
+			}
+		} else {
+			compute.Instrs = append(compute.Instrs, ir.Instr{Op: ir.StateRead, Name: d.State, Pos: pos})
+		}
 		addRef := func(f *ir.Function, name string) {
 			switch kindOf[name] {
 			case "type":
@@ -142,13 +161,28 @@ func Lower(fo *frontend.Output) (*ir.Module, error) {
 		for i := 0; i < externBulk; i++ {
 			compute.Instrs = append(compute.Instrs, ir.Instr{Op: ir.Extern, Pos: pos})
 		}
-		compute.Instrs = append(compute.Instrs, ir.Instr{Op: ir.StateWrite, Name: d.State, Pos: pos})
+		if indexed {
+			for k, e := range d.Touches {
+				epos := ir.Pos{Line: e.Line, Col: d.Col}
+				compute.Instrs = append(compute.Instrs,
+					ir.Instr{Op: ir.StateWriteIdx, Name: d.State, Args: []int{touchIdx[k]}, Pos: epos})
+			}
+		} else {
+			compute.Instrs = append(compute.Instrs, ir.Instr{Op: ir.StateWrite, Name: d.State, Pos: pos})
+		}
 		m.AddFunction(compute)
-		m.Deps = append(m.Deps, ir.DepMeta{
+		meta := ir.DepMeta{
 			Name: d.Name, Input: d.Input, State: d.State, Output: d.Output,
 			Compute: d.Compute, Compare: d.Compare,
-			Window: int(d.Window), Pos: pos,
-		})
+			Window: int(d.Window), Slots: int(d.Slots), Pos: pos,
+		}
+		for _, e := range d.Reserve {
+			meta.Reserve = append(meta.Reserve, ir.IndexExpr{
+				Whole: e.Whole, Field: e.Field, Stride: e.Stride, Offset: e.Offset,
+				Pos: ir.Pos{Line: e.Line, Col: d.Col},
+			})
+		}
+		m.Deps = append(m.Deps, meta)
 	}
 
 	// Generate auxiliary code, then pin the originals.
@@ -159,6 +193,29 @@ func Lower(fo *frontend.Output) (*ir.Module, error) {
 		return nil, err
 	}
 	return m, nil
+}
+
+// lowerIndex appends the instructions computing the slot index declared by
+// e — an affine expression stride*field+offset over the current input — and
+// returns the index of the instruction holding the result.
+func lowerIndex(f *ir.Function, e frontend.IndexDecl, pos ir.Pos) int {
+	if e.Field == "" {
+		f.Instrs = append(f.Instrs, ir.Instr{Op: ir.Const, Value: e.Offset, Pos: pos})
+		return len(f.Instrs) - 1
+	}
+	f.Instrs = append(f.Instrs, ir.Instr{Op: ir.InputField, Name: e.Field, Pos: pos})
+	cur := len(f.Instrs) - 1
+	if e.Stride != 1 {
+		f.Instrs = append(f.Instrs, ir.Instr{Op: ir.Const, Value: e.Stride, Pos: pos})
+		f.Instrs = append(f.Instrs, ir.Instr{Op: ir.Mul, Args: []int{cur, len(f.Instrs) - 1}, Pos: pos})
+		cur = len(f.Instrs) - 1
+	}
+	if e.Offset != 0 {
+		f.Instrs = append(f.Instrs, ir.Instr{Op: ir.Const, Value: e.Offset, Pos: pos})
+		f.Instrs = append(f.Instrs, ir.Instr{Op: ir.Add, Args: []int{cur, len(f.Instrs) - 1}, Pos: pos})
+		cur = len(f.Instrs) - 1
+	}
+	return cur
 }
 
 // hasTradeoffs reports, per function, whether it or any transitive callee

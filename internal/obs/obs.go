@@ -87,6 +87,10 @@ type Observer struct {
 	ReserveConflicts *Counter
 	Commits          *Counter
 
+	// FootprintViolations counts state slots the FootprintCheck oracle
+	// caught being touched outside a declared reservation footprint.
+	FootprintViolations *Counter
+
 	// Steals, LocalHits and TasksDone count the scheduler's dispatches:
 	// cross-worker steals, contention-free local pops, and completed
 	// tasks.
@@ -142,6 +146,8 @@ func NewObserver(lanes, perLaneCap int) *Observer {
 		ReserveConflicts: reg.Counter("stats_reserve_conflicts_total"),
 		Commits:          reg.Counter("stats_reservation_commits_total"),
 
+		FootprintViolations: reg.Counter("stats_footprint_violations_total"),
+
 		Steals:    reg.Counter("sched_steals_total"),
 		LocalHits: reg.Counter("sched_local_hits_total"),
 		TasksDone: reg.Counter("sched_tasks_done_total"),
@@ -171,6 +177,7 @@ func NewObserver(lanes, perLaneCap int) *Observer {
 		"stats_reserves_total":                  "slot reservations written by the deterministic-reservations protocol",
 		"stats_reserve_conflicts_total":         "inputs that lost a reserved slot to a lower index and carried forward",
 		"stats_reservation_commits_total":       "inputs committed by the reservations coordinator",
+		"stats_footprint_violations_total":      "state slots touched outside a declared reservation footprint (FootprintCheck oracle)",
 		"stats_rounds_per_group":                "reserve/check/commit rounds needed per reservations group",
 		"sched_steals_total":                    "cross-worker task dispatches (work stealing)",
 		"sched_local_hits_total":                "contention-free local-deque task dispatches",

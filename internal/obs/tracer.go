@@ -71,31 +71,36 @@ const (
 	// EvCommit marks one input's output committed by the reservations
 	// coordinator. Arg packs round<<32 | input index.
 	EvCommit
+	// EvFootprintViolation marks a winner whose compute touched a state
+	// slot outside its declared reservation footprint, caught by the
+	// Options.FootprintCheck oracle. Arg is the offending slot.
+	EvFootprintViolation
 
 	numEventKinds // sentinel, keep last
 )
 
 // eventKindNames maps kinds to their exposition names.
 var eventKindNames = [numEventKinds]string{
-	EvNone:             "none",
-	EvGroupStart:       "group-start",
-	EvGroupFinish:      "group-finish",
-	EvAuxProduced:      "aux-produced",
-	EvValidateMatch:    "validate-match",
-	EvValidateMismatch: "validate-mismatch",
-	EvRedo:             "redo",
-	EvAbort:            "abort",
-	EvSquash:           "squash",
-	EvFallback:         "fallback",
-	EvSteal:            "steal",
-	EvLocalHit:         "local-hit",
-	EvTaskFinish:       "task-finish",
-	EvPanic:            "panic",
-	EvGroupTimeout:     "group-timeout",
-	EvBreakerDenied:    "breaker-denied",
-	EvReserve:          "reserve",
-	EvReserveLost:      "reserve-lost",
-	EvCommit:           "commit",
+	EvNone:               "none",
+	EvGroupStart:         "group-start",
+	EvGroupFinish:        "group-finish",
+	EvAuxProduced:        "aux-produced",
+	EvValidateMatch:      "validate-match",
+	EvValidateMismatch:   "validate-mismatch",
+	EvRedo:               "redo",
+	EvAbort:              "abort",
+	EvSquash:             "squash",
+	EvFallback:           "fallback",
+	EvSteal:              "steal",
+	EvLocalHit:           "local-hit",
+	EvTaskFinish:         "task-finish",
+	EvPanic:              "panic",
+	EvGroupTimeout:       "group-timeout",
+	EvBreakerDenied:      "breaker-denied",
+	EvReserve:            "reserve",
+	EvReserveLost:        "reserve-lost",
+	EvCommit:             "commit",
+	EvFootprintViolation: "footprint-violation",
 }
 
 // String returns the kind's stable exposition name.

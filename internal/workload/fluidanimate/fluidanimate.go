@@ -364,14 +364,144 @@ func (w *W) RunBoosted(seed uint64, size int, factor float64) workload.Result {
 	return w.run(seed, size, w.resolve(workload.SpecOptions{}, true), 1/math.Sqrt(factor), false)
 }
 
-// RunSTATS implements workload.Workload.
+// RunSTATS implements workload.Workload. Under core.ProtocolReservations
+// the box is split into numFluids non-interacting sub-fluids advanced as
+// a step-major flat chain with one state slot per sub-fluid (see
+// SplitDependence): the window-replay aux code is hopeless here (§4.8),
+// but slot reservations need no aux code and the sub-fluids' disjoint
+// footprints commit in the same round.
 func (w *W) RunSTATS(seed uint64, size int, o workload.SpecOptions) (workload.Result, core.Stats) {
 	def := w.resolve(o, true)
+	if o.Protocol == core.ProtocolReservations {
+		return runSplit(seed, size, def, o)
+	}
 	aux := w.resolve(o, false)
 	steps := GenSteps(size, o.BadTraining)
 	dep := core.New(computeOutput(def), auxCode(aux), stateOps())
 	_, final, st := dep.Run(steps, initialState(), o.CoreOptions(seed))
 	return Result{Final: final.Pos}, st
+}
+
+// numFluids is the slot count of the reservations formulation: the box
+// is partitioned into this many non-interacting sub-fluids, each its own
+// state slot.
+const numFluids = 4
+
+// FlatStep is one (frame, sub-fluid) cell of the step-major chain the
+// reservations protocol simulates: sequential order walks the sub-fluids
+// within a frame, so cells of the same frame touch disjoint slots.
+type FlatStep struct {
+	Step  Step
+	Fluid int
+}
+
+// FlatSteps materializes the step-major chain over the frames.
+func FlatSteps(steps []Step) []FlatStep {
+	cells := make([]FlatStep, 0, len(steps)*numFluids)
+	for _, in := range steps {
+		for k := 0; k < numFluids; k++ {
+			cells = append(cells, FlatStep{Step: in, Fluid: k})
+		}
+	}
+	return cells
+}
+
+// subInitial places one sub-fluid's particles at rest, seeded per fluid.
+func subInitial(k int) State {
+	r := rng.New(0xF1D1 + uint64(k)*0x9E37)
+	n := numParticles / numFluids
+	s := State{Pos: make([]mathx.Vec3, n), Vel: make([]mathx.Vec3, n)}
+	for i := range s.Pos {
+		s.Pos[i] = mathx.Vec3{
+			X: r.Range(2, 8), Y: r.Range(4, 8), Z: r.Range(2, 8),
+		}
+	}
+	return s
+}
+
+// statesEqual compares two sub-fluid states structurally (the Touched
+// oracle hook needs a value diff).
+func statesEqual(a, b State) bool {
+	if len(a.Pos) != len(b.Pos) || len(a.Vel) != len(b.Vel) {
+		return false
+	}
+	for i := range a.Pos {
+		if a.Pos[i] != b.Pos[i] {
+			return false
+		}
+	}
+	for i := range a.Vel {
+		if a.Vel[i] != b.Vel[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SplitDependence builds the reservation-ready dependence: state is one
+// sub-fluid per slot, a cell's footprint is exactly its fluid's slot,
+// and Merge copies the winner's slot.
+func SplitDependence(o workload.SpecOptions) *core.Dependence[FlatStep, []State, mathx.Vec3] {
+	return splitDependence((&W{}).resolve(o, true))
+}
+
+func splitDependence(p params) *core.Dependence[FlatStep, []State, mathx.Vec3] {
+	compute := func(r *rng.Source, in FlatStep, st []State) (mathx.Vec3, []State) {
+		s := simulateStep(r, p, st[in.Fluid], in.Step, 1)
+		st[in.Fluid] = s
+		var mean mathx.Vec3
+		for _, pos := range s.Pos {
+			mean = mean.Add(pos)
+		}
+		return mean.Scale(1 / float64(len(s.Pos))), st
+	}
+	ops := core.StateOps[[]State]{
+		Clone: func(s []State) []State {
+			cp := make([]State, len(s))
+			for i := range s {
+				cp[i] = cloneState(s[i])
+			}
+			return cp
+		},
+	}
+	dep := core.New[FlatStep, []State, mathx.Vec3](compute, nil, ops)
+	return dep.WithReserve(core.ReserveOps[FlatStep, []State]{
+		NumSlots:  func(initial []State) int { return len(initial) },
+		Footprint: func(in FlatStep, _ []State) []int { return []int{in.Fluid} },
+		Merge: func(dst, src []State, slots []int) []State {
+			for _, sl := range slots {
+				dst[sl] = src[sl]
+			}
+			return dst
+		},
+		Touched: func(before, after []State) []int {
+			var touched []int
+			for i := range before {
+				if i < len(after) && !statesEqual(before[i], after[i]) {
+					touched = append(touched, i)
+				}
+			}
+			return touched
+		},
+	})
+}
+
+// runSplit advances the sub-fluids through one reservations engine run
+// over the step-major chain; the final particle set is the concatenation
+// of the sub-fluids'.
+func runSplit(seed uint64, size int, p params, o workload.SpecOptions) (workload.Result, core.Stats) {
+	steps := GenSteps(size, o.BadTraining)
+	init := make([]State, numFluids)
+	for k := range init {
+		init[k] = subInitial(k)
+	}
+	dep := splitDependence(p)
+	_, final, st := dep.Run(FlatSteps(steps), init, o.CoreOptions(seed))
+	var all []mathx.Vec3
+	for _, s := range final {
+		all = append(all, s.Pos...)
+	}
+	return Result{Final: all}, st
 }
 
 // CostModel implements workload.Workload. The original program parallelizes

@@ -214,6 +214,105 @@ func batches(size int, badTraining bool) []Batch {
 	return bs
 }
 
+// numMembers is the slot count of the reservations formulation: batches
+// are dealt round-robin over an ensemble of independent models, one state
+// slot each, so same-round batches on distinct members have disjoint
+// footprints and commit together.
+const numMembers = 4
+
+// EnsembleBatch is one cell of the ensemble chain: batch index i routed
+// to member i % numMembers.
+type EnsembleBatch struct {
+	Offset int
+	Member int
+	Points []streamdata.Point
+}
+
+// EnsembleBatches deals the stream's batches round-robin over the
+// ensemble members.
+func EnsembleBatches(size int, badTraining bool) []EnsembleBatch {
+	bs := batches(size, badTraining)
+	cells := make([]EnsembleBatch, len(bs))
+	for i, b := range bs {
+		cells[i] = EnsembleBatch{Offset: b.Offset, Member: i % numMembers, Points: b.Points}
+	}
+	return cells
+}
+
+// modelsEqual compares two member models structurally (the Touched
+// oracle hook needs a value diff).
+func modelsEqual(a, b Model) bool {
+	for k := range a.Classes {
+		if len(a.Classes[k]) != len(b.Classes[k]) {
+			return false
+		}
+		for i := range a.Classes[k] {
+			if a.Classes[k][i] != b.Classes[k][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EnsembleDependence builds the reservation-ready dependence: state is
+// one model per ensemble member, a cell's footprint is exactly its
+// member's slot, and Merge copies the winner's slot.
+func EnsembleDependence(o workload.SpecOptions) *core.Dependence[EnsembleBatch, []Model, Output] {
+	return ensembleDependence((&W{}).resolve(o, true))
+}
+
+func ensembleDependence(p params) *core.Dependence[EnsembleBatch, []Model, Output] {
+	compute := func(r *rng.Source, in EnsembleBatch, st []Model) (Output, []Model) {
+		m := st[in.Member]
+		out := Output{Offset: in.Offset, Pred: make([]int, len(in.Points))}
+		for i, pt := range in.Points {
+			out.Pred[i] = classify(&m, p, pt)
+			learn(r, &m, p, pt)
+		}
+		st[in.Member] = m
+		return out, st
+	}
+	ops := core.StateOps[[]Model]{
+		Clone: func(s []Model) []Model {
+			cp := make([]Model, len(s))
+			for i := range s {
+				cp[i] = cloneModel(s[i])
+			}
+			return cp
+		},
+	}
+	dep := core.New[EnsembleBatch, []Model, Output](compute, nil, ops)
+	return dep.WithReserve(core.ReserveOps[EnsembleBatch, []Model]{
+		NumSlots:  func(initial []Model) int { return len(initial) },
+		Footprint: func(in EnsembleBatch, _ []Model) []int { return []int{in.Member} },
+		Merge: func(dst, src []Model, slots []int) []Model {
+			for _, sl := range slots {
+				dst[sl] = src[sl]
+			}
+			return dst
+		},
+		Touched: func(before, after []Model) []int {
+			var touched []int
+			for i := range before {
+				if i < len(after) && !modelsEqual(before[i], after[i]) {
+					touched = append(touched, i)
+				}
+			}
+			return touched
+		},
+	})
+}
+
+// runEnsemble classifies the stream through one reservations engine run
+// over the ensemble chain; outputs carry their stream offsets, so the
+// existing assembly works unchanged.
+func runEnsemble(seed uint64, size int, p params, o workload.SpecOptions) (workload.Result, core.Stats) {
+	dep := ensembleDependence(p)
+	outs, _, st := dep.Run(EnsembleBatches(size, o.BadTraining), make([]Model, numMembers), o.CoreOptions(seed))
+	return assemble(size, outs, o.BadTraining), st
+}
+
 func assemble(size int, outs []Output, badTraining bool) Result {
 	pts := streamdata.Stream(size*pointsPerInput, badTraining)
 	res := Result{Pred: make([]int, len(pts)), Gold: make([]int, len(pts))}
@@ -271,9 +370,14 @@ func (w *W) RunBoosted(seed uint64, size int, factor float64) workload.Result {
 	return w.run(seed, size, w.resolve(workload.SpecOptions{}, true), passes, false)
 }
 
-// RunSTATS implements workload.Workload.
+// RunSTATS implements workload.Workload. Under core.ProtocolReservations
+// the stream runs the ensemble formulation: numMembers independent
+// models, one state slot each (see EnsembleDependence).
 func (w *W) RunSTATS(seed uint64, size int, o workload.SpecOptions) (workload.Result, core.Stats) {
 	def := w.resolve(o, true)
+	if o.Protocol == core.ProtocolReservations {
+		return runEnsemble(seed, size, def, o)
+	}
 	aux := w.resolve(o, false)
 	bs := batches(size, o.BadTraining)
 	dep := core.New(computeOutput(def), auxCode(aux), stateOps())

@@ -210,6 +210,112 @@ func stateOps() core.StateOps[Solution] {
 	return core.StateOps[Solution]{Clone: cloneSolution}
 }
 
+// numShards is the slot count of the reservations formulation: the
+// stream is dealt round-robin over this many independent sub-solutions,
+// so batches landing on different shards have disjoint footprints and
+// commit in the same round.
+const numShards = 4
+
+// ShardBatch is one cell of the sharded chain the reservations protocol
+// clusters: batch Index routed to shard Index % numShards.
+type ShardBatch struct {
+	Index  int
+	Shard  int
+	Points []streamdata.Point
+}
+
+// ShardBatches deals the stream's batches round-robin over the shards.
+func ShardBatches(size int, badTraining bool) []ShardBatch {
+	bs := batches(size, badTraining)
+	cells := make([]ShardBatch, len(bs))
+	for i, b := range bs {
+		cells[i] = ShardBatch{Index: i, Shard: i % numShards, Points: b.Points}
+	}
+	return cells
+}
+
+// solutionsEqual compares two shard solutions structurally (the Touched
+// oracle hook needs a value diff, not pointer identity).
+func solutionsEqual(a, b Solution) bool {
+	if a.FacilityCost != b.FacilityCost || len(a.Centers) != len(b.Centers) {
+		return false
+	}
+	for i := range a.Centers {
+		if a.Centers[i] != b.Centers[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ShardedDependence builds the reservation-ready dependence: state is one
+// Solution per shard, a cell's footprint is exactly its shard's slot, and
+// Merge copies the winner's slot.
+func ShardedDependence(o workload.SpecOptions) *core.Dependence[ShardBatch, []Solution, int] {
+	return shardedDependence((&W{}).resolve(o, true))
+}
+
+func shardedDependence(p params) *core.Dependence[ShardBatch, []Solution, int] {
+	compute := func(r *rng.Source, in ShardBatch, st []Solution) (int, []Solution) {
+		sol := st[in.Shard]
+		for _, pt := range in.Points {
+			addPoint(r, p, &sol, pt)
+		}
+		st[in.Shard] = sol
+		return len(sol.Centers), st
+	}
+	ops := core.StateOps[[]Solution]{
+		Clone: func(s []Solution) []Solution {
+			cp := make([]Solution, len(s))
+			for i := range s {
+				cp[i] = cloneSolution(s[i])
+			}
+			return cp
+		},
+	}
+	dep := core.New[ShardBatch, []Solution, int](compute, nil, ops)
+	return dep.WithReserve(core.ReserveOps[ShardBatch, []Solution]{
+		NumSlots:  func(initial []Solution) int { return len(initial) },
+		Footprint: func(in ShardBatch, _ []Solution) []int { return []int{in.Shard} },
+		Merge: func(dst, src []Solution, slots []int) []Solution {
+			for _, sl := range slots {
+				dst[sl] = src[sl]
+			}
+			return dst
+		},
+		Touched: func(before, after []Solution) []int {
+			var touched []int
+			for i := range before {
+				if i < len(after) && !solutionsEqual(before[i], after[i]) {
+					touched = append(touched, i)
+				}
+			}
+			return touched
+		},
+	})
+}
+
+// runSharded clusters the stream through one reservations engine run over
+// the sharded chain, then deterministically merges the shard solutions
+// down to the cluster budget for the final assignment.
+func runSharded(seed uint64, size int, p params, o workload.SpecOptions) (workload.Result, core.Stats) {
+	init := make([]Solution, numShards)
+	for i := range init {
+		init[i] = Solution{FacilityCost: 1}
+	}
+	dep := shardedDependence(p)
+	_, final, st := dep.Run(ShardBatches(size, o.BadTraining), init, o.CoreOptions(seed))
+	merged := Solution{FacilityCost: 1}
+	for _, sol := range final {
+		merged.Centers = append(merged.Centers, sol.Centers...)
+	}
+	for len(merged.Centers) > p.maxClusters {
+		mergeClosest(&merged)
+	}
+	pts := streamdata.Stream(size*pointsPerInput, o.BadTraining)
+	return Result{Clustering: finalClustering(merged, pts)}, st
+}
+
 // batches splits the stream into inputs.
 func batches(size int, badTraining bool) []Batch {
 	pts := streamdata.Stream(size*pointsPerInput, badTraining)
@@ -315,9 +421,15 @@ func (w *W) RunBoosted(seed uint64, size int, factor float64) workload.Result {
 	return w.run(seed, size, w.resolve(workload.SpecOptions{}, true), iters, false)
 }
 
-// RunSTATS implements workload.Workload.
+// RunSTATS implements workload.Workload. Under core.ProtocolReservations
+// the stream runs the sharded formulation: numShards independent
+// sub-solutions, one state slot each, so same-round batches on distinct
+// shards commit together (see ShardedDependence).
 func (w *W) RunSTATS(seed uint64, size int, o workload.SpecOptions) (workload.Result, core.Stats) {
 	def := w.resolve(o, true)
+	if o.Protocol == core.ProtocolReservations {
+		return runSharded(seed, size, def, o)
+	}
 	aux := w.resolve(o, false)
 	bs := batches(size, o.BadTraining)
 	dep := core.New(computeOutput(def), auxCode(aux), stateOps())

@@ -377,6 +377,15 @@ func flatDependence(instruments []Swaption, p params, o workload.SpecOptions) *c
 			}
 			return dst
 		},
+		Touched: func(before, after []PriceState) []int {
+			var touched []int
+			for i := range before {
+				if i < len(after) && before[i] != after[i] {
+					touched = append(touched, i)
+				}
+			}
+			return touched
+		},
 	})
 }
 
@@ -422,6 +431,7 @@ func addStats(agg *core.Stats, st core.Stats) {
 	agg.BreakerDenied += st.BreakerDenied
 	agg.Rounds += st.Rounds
 	agg.ReservationConflicts += st.ReservationConflicts
+	agg.FootprintViolations += st.FootprintViolations
 }
 
 // CostModel implements workload.Workload. One default-precision block is

@@ -74,6 +74,9 @@ type SpecOptions struct {
 	// SchedLane is the base lane for the run's gate participants; see
 	// core.Options.SchedLane.
 	SchedLane int
+	// FootprintCheck enables the runtime footprint oracle under
+	// core.ProtocolReservations; see core.Options.FootprintCheck.
+	FootprintCheck bool
 }
 
 // CoreOptions lowers the engine-relevant fields of o (plus the run seed)
@@ -82,19 +85,20 @@ type SpecOptions struct {
 // the observability sink) identically.
 func (o SpecOptions) CoreOptions(seed uint64) core.Options {
 	return core.Options{
-		UseAux:       o.UseAux,
-		Protocol:     o.Protocol,
-		GroupSize:    o.GroupSize,
-		Window:       o.Window,
-		RedoMax:      o.RedoMax,
-		Rollback:     o.Rollback,
-		Workers:      o.Workers,
-		Seed:         seed,
-		GroupTimeout: o.GroupTimeout,
-		Breaker:      o.Breaker,
-		Obs:          o.Obs,
-		Sched:        o.Sched,
-		SchedLane:    o.SchedLane,
+		UseAux:         o.UseAux,
+		Protocol:       o.Protocol,
+		GroupSize:      o.GroupSize,
+		Window:         o.Window,
+		RedoMax:        o.RedoMax,
+		Rollback:       o.Rollback,
+		Workers:        o.Workers,
+		Seed:           seed,
+		GroupTimeout:   o.GroupTimeout,
+		Breaker:        o.Breaker,
+		Obs:            o.Obs,
+		Sched:          o.Sched,
+		SchedLane:      o.SchedLane,
+		FootprintCheck: o.FootprintCheck,
 	}
 }
 

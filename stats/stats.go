@@ -51,11 +51,54 @@ type CloneFunc[S any] func(S) S
 // acceptable given the set of original states produced so far.
 type MatchFunc[S any] func(speculative S, originals []S) bool
 
+// Protocol selects how the runtime satisfies a state dependence
+// speculatively; see the core engine's protocols.
+type Protocol = core.Protocol
+
+// The available speculation protocols: the paper's auxiliary-code
+// validation (the zero value) and deterministic slot reservations for
+// dependences whose invocations touch declared disjoint state slots.
+const (
+	ProtocolAux          = core.ProtocolAux
+	ProtocolReservations = core.ProtocolReservations
+)
+
+// ParseProtocol maps a protocol name ("aux", "reservations") to its
+// Protocol value; ok is false for an unknown name.
+func ParseProtocol(s string) (p Protocol, ok bool) { return core.ParseProtocol(s) }
+
+// ReserveOps is the slot-reservation contract a dependence attaches with
+// SetReserve: slot count, per-invocation footprint, slot-wise merge, and
+// the optional Touched oracle hook used by Options.FootprintCheck.
+type ReserveOps[I, S any] struct {
+	// NumSlots is the number of state slots given the initial state.
+	NumSlots func(initial S) int
+	// Footprint returns the slots one invocation may read or write; it
+	// must over-approximate the compute's accesses (statsvet -footprints
+	// proves this for DSL-declared dependences).
+	Footprint func(in I, initial S) []int
+	// Merge copies the given slots from src into dst and returns dst.
+	// It must not mutate src.
+	Merge func(dst, src S, slots []int) S
+	// Touched optionally reports the slots that differ between two
+	// states — the runtime footprint oracle of Options.FootprintCheck.
+	Touched func(before, after S) []int
+}
+
 // Options configures one execution; every field is a state-space dimension
 // the autotuner can set (§3.3).
 type Options struct {
 	// UseAux enables speculation; false is the conventional baseline.
 	UseAux bool
+	// Protocol selects the speculation protocol; the zero value is the
+	// paper's auxiliary-code validation. ProtocolReservations requires
+	// SetReserve.
+	Protocol Protocol
+	// FootprintCheck enables the runtime footprint oracle under
+	// ProtocolReservations: state slots the compute actually touched are
+	// cross-checked against the declared footprint before commit, and a
+	// lying footprint squashes the group and falls back sequentially.
+	FootprintCheck bool
 	// GroupSize is the input-group cardinality the runtime overlaps.
 	GroupSize int
 	// Window is how many previous inputs the auxiliary code consumes.
@@ -93,6 +136,7 @@ type StateDependence[I, S, O any] struct {
 	aux     AuxFunc[I, S]
 	clone   CloneFunc[S]
 	match   MatchFunc[S]
+	reserve *ReserveOps[I, S]
 	opts    Options
 	// sharedPool, when set by Attach, supplies the Runtime's worker pool
 	// instead of a per-run private pool; observer is the Runtime's
@@ -138,6 +182,14 @@ func (sd *StateDependence[I, S, O]) SetStateOps(clone CloneFunc[S], match MatchF
 		sd.clone = clone
 	}
 	sd.match = match
+	return sd
+}
+
+// SetReserve attaches the slot-reservation contract used under
+// Options.Protocol == ProtocolReservations. Without it, reservations
+// treat the whole state as a single slot (fully serialized commits).
+func (sd *StateDependence[I, S, O]) SetReserve(r ReserveOps[I, S]) *StateDependence[I, S, O] {
+	sd.reserve = &r
 	return sd
 }
 
@@ -196,10 +248,19 @@ func (sd *StateDependence[I, S, O]) run() ([]O, S, RunStats) {
 
 // dep lowers the SDI's functions to an engine dependence.
 func (sd *StateDependence[I, S, O]) dep() *core.Dependence[I, S, O] {
-	return core.New(core.Compute[I, S, O](sd.compute), core.Aux[I, S](sd.aux), core.StateOps[S]{
+	d := core.New(core.Compute[I, S, O](sd.compute), core.Aux[I, S](sd.aux), core.StateOps[S]{
 		Clone:    sd.clone,
 		MatchAny: sd.match,
 	})
+	if sd.reserve != nil {
+		d = d.WithReserve(core.ReserveOps[I, S]{
+			NumSlots:  sd.reserve.NumSlots,
+			Footprint: sd.reserve.Footprint,
+			Merge:     sd.reserve.Merge,
+			Touched:   sd.reserve.Touched,
+		})
+	}
+	return d
 }
 
 // coreOptions lowers the configured Options plus the Runtime attachment to
@@ -207,16 +268,18 @@ func (sd *StateDependence[I, S, O]) dep() *core.Dependence[I, S, O] {
 // (Run, RunStream, StartStream, RunChecked) threads new fields identically.
 func (sd *StateDependence[I, S, O]) coreOptions() core.Options {
 	return core.Options{
-		UseAux:       sd.opts.UseAux,
-		GroupSize:    sd.opts.GroupSize,
-		Window:       sd.opts.Window,
-		RedoMax:      sd.opts.RedoMax,
-		Rollback:     sd.opts.Rollback,
-		Workers:      sd.opts.Workers,
-		Seed:         sd.opts.Seed,
-		GroupTimeout: sd.opts.GroupTimeout,
-		Breaker:      sd.opts.Breaker,
-		Pool:         sd.sharedPool,
-		Obs:          sd.observer,
+		UseAux:         sd.opts.UseAux,
+		Protocol:       sd.opts.Protocol,
+		FootprintCheck: sd.opts.FootprintCheck,
+		GroupSize:      sd.opts.GroupSize,
+		Window:         sd.opts.Window,
+		RedoMax:        sd.opts.RedoMax,
+		Rollback:       sd.opts.Rollback,
+		Workers:        sd.opts.Workers,
+		Seed:           sd.opts.Seed,
+		GroupTimeout:   sd.opts.GroupTimeout,
+		Breaker:        sd.opts.Breaker,
+		Pool:           sd.sharedPool,
+		Obs:            sd.observer,
 	}
 }

@@ -199,3 +199,80 @@ func TestSimulationFacade(t *testing.T) {
 		t.Fatalf("energy: %v", e)
 	}
 }
+
+// TestReservationsProtocolThroughFacade runs a slotted dependence through
+// the public API under ProtocolReservations with the footprint oracle on,
+// and requires byte-identical results to the sequential formulation plus
+// actual speculative commits.
+func TestReservationsProtocolThroughFacade(t *testing.T) {
+	const slots = 4
+	compute := func(r *Rand, in int, s []float64) (int, []float64) {
+		s[in%slots] += float64(in)
+		return in * 3, s
+	}
+	build := func() *StateDependence[int, []float64, int] {
+		sd := NewStateDependence(inputsN(32), make([]float64, slots), compute)
+		sd.SetStateOps(func(s []float64) []float64 {
+			return append([]float64(nil), s...)
+		}, nil)
+		sd.SetReserve(ReserveOps[int, []float64]{
+			NumSlots:  func(initial []float64) int { return len(initial) },
+			Footprint: func(in int, _ []float64) []int { return []int{in % slots} },
+			Merge: func(dst, src []float64, touched []int) []float64 {
+				for _, sl := range touched {
+					dst[sl] = src[sl]
+				}
+				return dst
+			},
+			Touched: func(before, after []float64) []int {
+				var out []int
+				for i := range before {
+					if before[i] != after[i] {
+						out = append(out, i)
+					}
+				}
+				return out
+			},
+		})
+		return sd
+	}
+
+	seq := build().Configure(Options{Protocol: ProtocolReservations, Seed: 7})
+	seqOuts, seqFinal, _ := seq.Run()
+
+	spec := build().Configure(Options{
+		UseAux: true, Protocol: ProtocolReservations, FootprintCheck: true,
+		GroupSize: 8, Workers: 4, Seed: 7,
+	})
+	outs, final, st := spec.Run()
+
+	for i := range seqOuts {
+		if outs[i] != seqOuts[i] {
+			t.Fatalf("output %d: got %d, want %d", i, outs[i], seqOuts[i])
+		}
+	}
+	for i := range seqFinal {
+		if final[i] != seqFinal[i] {
+			t.Fatalf("final slot %d: got %v, want %v", i, final[i], seqFinal[i])
+		}
+	}
+	if st.SpeculativeCommits == 0 {
+		t.Fatalf("no speculative commits under reservations: %+v", st)
+	}
+	if st.FootprintViolations != 0 {
+		t.Fatalf("oracle flagged a sound footprint: %+v", st)
+	}
+}
+
+// TestParseProtocol round-trips the protocol names.
+func TestParseProtocol(t *testing.T) {
+	if p, ok := ParseProtocol("reservations"); !ok || p != ProtocolReservations {
+		t.Fatalf("ParseProtocol(reservations) = %v, %v", p, ok)
+	}
+	if p, ok := ParseProtocol("aux"); !ok || p != ProtocolAux {
+		t.Fatalf("ParseProtocol(aux) = %v, %v", p, ok)
+	}
+	if _, ok := ParseProtocol("bogus"); ok {
+		t.Fatal("ParseProtocol accepted an unknown name")
+	}
+}
