@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: build test check race vet bench-pool bench bench-paper fuzz bench-obs serve-smoke chaos explore explore-long
+.PHONY: build test check race vet bench-pool bench bench-gate bench-paper fuzz bench-obs serve-smoke chaos explore explore-long
 
 build:
 	$(GO) build ./...
@@ -17,8 +17,9 @@ test: build
 
 # The full local gate: tier-1 tests, the static-analysis suite, the
 # telemetry-server smoke (boot, curl every endpoint, assert statuses),
-# the fault-injection campaign, and the bounded schedule exploration.
-check: test vet serve-smoke chaos explore
+# the allocation-budget gate over the profiler's warm paths, the
+# fault-injection campaign, and the bounded schedule exploration.
+check: test vet serve-smoke bench-gate chaos explore
 
 race:
 	$(GO) test -race ./...
@@ -37,12 +38,20 @@ bench-pool:
 	$(GO) test -run '^$$' -bench 'Submit|Fanout' -benchmem ./internal/pool ./internal/core
 
 # Hot-path benchmark snapshot: the telemetry scrape-under-load and Emit
-# microbenchmarks plus the engine's speculative run with the controlled
-# scheduler off (nil fast path) and on, and the deterministic-reservations
-# protocol (whole-state and slotted), written to BENCH_pr7.json (the
-# checked-in regression reference continuing BENCH_pr6.json).
+# microbenchmarks, the always-on profiler's warm paths (incremental span
+# folding, windowed signals report), and the engine's speculative run
+# with the controlled scheduler off (nil fast path) and on, plus the
+# deterministic-reservations protocol, written to BENCH_pr9.json (the
+# checked-in regression reference continuing BENCH_pr7.json). The run
+# also enforces the allocs/op ceilings in BENCH_budget.json.
 bench:
-	$(GO) run ./cmd/statsbench -out BENCH_pr7.json
+	$(GO) run ./cmd/statsbench -out BENCH_pr9.json -budget BENCH_budget.json
+
+# Quick allocation-budget gate for `make check`: re-measure the profiler's
+# warm paths with a small -benchtime and fail on any allocs/op ceiling
+# violation, without rewriting the checked-in snapshot.
+bench-gate:
+	$(GO) run ./cmd/statsbench -benchtime 100x -pkgs telemetry -budget BENCH_budget.json -out ""
 
 # Full evaluation benchmarks (paper tables/figures). STATS_QUICK=1 scales
 # budgets down for smoke runs.

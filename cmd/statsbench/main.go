@@ -1,17 +1,25 @@
 // Command statsbench runs the repository's hot-path microbenchmarks
 // through `go test -bench` and writes the parsed results as a JSON
-// document — the checked-in BENCH_pr7.json snapshot (continuing
-// BENCH_pr6.json) that records the telemetry scrape/Emit costs, the
-// engine's speculative path with the controlled scheduler disabled (the
-// nil fast path a sched change must not regress) and enabled, and the
+// document — the checked-in BENCH_pr9.json snapshot (continuing
+// BENCH_pr7.json) that records the telemetry scrape/Emit costs, the
+// always-on profiler's warm paths (incremental span folding and the
+// windowed signals report), the engine's speculative path with the
+// controlled scheduler disabled and enabled, and the
 // deterministic-reservations protocol in its whole-state and slotted
 // shapes.
 //
+// With -budget it also acts as the regression gate: the budget file
+// maps benchmark names (GOMAXPROCS -N suffix stripped) to allocs/op
+// ceilings, and any measured result above its ceiling fails the run.
+//
 // Usage:
 //
-//	statsbench                     # write BENCH_pr7.json in the cwd
+//	statsbench                     # write BENCH_pr9.json in the cwd
 //	statsbench -out results.json   # elsewhere
+//	statsbench -out ""             # measure without writing a snapshot
 //	statsbench -benchtime 100x     # quicker smoke run
+//	statsbench -pkgs telemetry     # only suites whose package matches
+//	statsbench -budget BENCH_budget.json   # enforce allocs/op ceilings
 package main
 
 import (
@@ -54,18 +62,21 @@ type BenchDoc struct {
 }
 
 // suites are the (package, bench regexp) pairs the snapshot covers: the
-// telemetry server under load, the tracer's emit paths, and the engine's
-// speculative run with the controlled scheduler off (nil fast path) and
-// on (gate-serialized systematic-testing mode).
+// telemetry server under load plus the profiler's warm paths, the
+// tracer's emit paths, and the engine's speculative run with the
+// controlled scheduler off (nil fast path) and on (gate-serialized
+// systematic-testing mode).
 var suites = []struct{ pkg, pattern string }{
-	{"./internal/telemetry", "BenchmarkMetricsScrapeUnderLoad|BenchmarkEmitWithSSEClient|BenchmarkEmitDisabledObserver|BenchmarkBuildSpans"},
+	{"./internal/telemetry", "BenchmarkMetricsScrapeUnderLoad|BenchmarkEmitWithSSEClient|BenchmarkEmitDisabledObserver|BenchmarkBuildSpans|BenchmarkSpanFolderWarm|BenchmarkSignalsReport"},
 	{"./internal/obs", "BenchmarkEmitDisabled$|BenchmarkEmitEnabled|BenchmarkObserverDisabledGroupPath"},
 	{"./internal/core", "BenchmarkEngineSpeculative$|BenchmarkEngineControlledSched$|BenchmarkEngineReservations$"},
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr7.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr9.json", "output JSON path (empty: don't write)")
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
+	budgetPath := flag.String("budget", "", "allocs/op budget JSON; violations fail the run")
+	pkgs := flag.String("pkgs", "", "only run suites whose package path contains this substring")
 	flag.Parse()
 
 	doc := BenchDoc{
@@ -74,6 +85,9 @@ func main() {
 		Benchtime: *benchtime,
 	}
 	for _, s := range suites {
+		if *pkgs != "" && !strings.Contains(s.pkg, *pkgs) {
+			continue
+		}
 		lines, err := runBench(s.pkg, s.pattern, *benchtime)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "statsbench: %s: %v\n", s.pkg, err)
@@ -86,19 +100,85 @@ func main() {
 		os.Exit(1)
 	}
 
-	blob, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "statsbench:", err)
-		os.Exit(1)
+	if *out != "" {
+		blob, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "statsbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "statsbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d benchmark results to %s\n", len(doc.Results), *out)
+	} else {
+		fmt.Printf("measured %d benchmark results (no snapshot written)\n", len(doc.Results))
 	}
-	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "statsbench:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("wrote %d benchmark results to %s\n", len(doc.Results), *out)
 	for _, r := range doc.Results {
-		fmt.Printf("  %-45s %12.1f ns/op\n", r.Name, r.NsPerOp)
+		fmt.Printf("  %-45s %12.1f ns/op %8d allocs/op\n", r.Name, r.NsPerOp, r.AllocsPerOp)
 	}
+
+	if *budgetPath != "" {
+		if err := enforceBudget(*budgetPath, doc.Results); err != nil {
+			fmt.Fprintln(os.Stderr, "statsbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// enforceBudget fails when any measured benchmark exceeds its allocs/op
+// ceiling. The budget file maps bare benchmark names (no -N GOMAXPROCS
+// suffix) to ceilings; benchmarks without an entry pass unchecked, and
+// budget entries the run never measured are an error so a renamed
+// benchmark cannot silently void its gate.
+func enforceBudget(path string, results []BenchResult) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var budget map[string]int64
+	if err := json.Unmarshal(blob, &budget); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	checked := map[string]bool{}
+	var violations []string
+	for _, r := range results {
+		name := stripProcSuffix(r.Name)
+		ceiling, ok := budget[name]
+		if !ok {
+			continue
+		}
+		checked[name] = true
+		if r.AllocsPerOp > ceiling {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %d allocs/op exceeds the %d budget", name, r.AllocsPerOp, ceiling))
+		}
+	}
+	for name := range budget {
+		if !checked[name] {
+			violations = append(violations, fmt.Sprintf(
+				"%s: budgeted but never measured (renamed or filtered out?)", name))
+		}
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("allocation budget violations:\n  %s",
+			strings.Join(violations, "\n  "))
+	}
+	fmt.Printf("allocation budget OK (%d benchmarks within %s)\n", len(checked), path)
+	return nil
+}
+
+// stripProcSuffix removes the trailing -N GOMAXPROCS decoration go test
+// appends to benchmark names, so budgets are stable across machines.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
 }
 
 // goVersion returns `go env GOVERSION`.

@@ -12,9 +12,10 @@
 //
 // With -serve the run executes with the observability layer attached and
 // an HTTP telemetry server up at the given address: /metrics (Prometheus
-// text), /healthz (windowed speculation health), /events (live SSE
-// stream), /trace (Chrome trace_event JSON), /spans (causal span trees),
-// and with -pprof the net/http/pprof profiles. -repeat re-runs the
+// text), /healthz (windowed speculation health), /signals (rolling
+// control signals; ?stream=1 for SSE), /events (live SSE stream),
+// /trace (Chrome trace_event JSON), /spans (causal span trees), and
+// with -pprof the net/http/pprof profiles. -repeat re-runs the
 // workload N times (0 = until interrupted) so there is a live run to
 // watch.
 package main
@@ -124,7 +125,7 @@ func serveMain(w workload.Workload, size int, seed uint64, so workload.SpecOptio
 		os.Exit(1)
 	}
 	defer srv.Close()
-	fmt.Printf("telemetry at %s (endpoints: /metrics /healthz /events /trace /spans)\n", srv.URL())
+	fmt.Printf("telemetry at %s (endpoints: /metrics /healthz /signals /events /trace /spans)\n", srv.URL())
 
 	interrupted := make(chan os.Signal, 1)
 	signal.Notify(interrupted, os.Interrupt)

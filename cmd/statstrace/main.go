@@ -10,6 +10,7 @@
 //	statstrace -workload bodytrack -live                           # observed run
 //	statstrace -workload bodytrack -live -chrome out.json          # + Chrome trace
 //	statstrace -workload bodytrack -live -spans                    # + causal span trees
+//	statstrace -workload bodytrack -live -waterfall                # + wasted-work waterfall
 //	statstrace -from-spans spans.json                              # render a saved /spans doc
 //
 // By default the chart comes from the platform simulator. With -live the
@@ -57,11 +58,12 @@ func main() {
 	live := flag.Bool("live", false, "execute the workload for real and render the observed event log")
 	chrome := flag.String("chrome", "", "with -live, also write the event log as Chrome trace_event JSON to this file")
 	spans := flag.Bool("spans", false, "with -live, also render the reconstructed causal span trees")
+	waterfall := flag.Bool("waterfall", false, "with -live or -from-spans, also render the wasted-work waterfall with the critical path")
 	fromSpans := flag.String("from-spans", "", "render the span view from a /spans JSON document (no execution)")
 	flag.Parse()
 
 	if *fromSpans != "" {
-		if err := renderSpanFile(*fromSpans); err != nil {
+		if err := renderSpanFile(*fromSpans, *waterfall); err != nil {
 			fmt.Fprintln(os.Stderr, "statstrace:", err)
 			os.Exit(1)
 		}
@@ -77,7 +79,7 @@ func main() {
 		liveMain(w, *threads, *size, workload.SpecOptions{
 			UseAux: *aux, GroupSize: *group, Window: *window,
 			RedoMax: *redo, Rollback: *rollback, Workers: *threads,
-		}, *seed, *width, *rows, *chrome, *spans)
+		}, *seed, *width, *rows, *chrome, *spans, *waterfall)
 		return
 	}
 	var mode taskgen.Mode
@@ -120,7 +122,7 @@ func main() {
 
 // liveMain runs the workload for real with the observability layer
 // attached and renders the recorded event log instead of a simulation.
-func liveMain(w workload.Workload, threads, size int, o workload.SpecOptions, seed uint64, width, rows int, chromePath string, spans bool) {
+func liveMain(w workload.Workload, threads, size int, o workload.SpecOptions, seed uint64, width, rows int, chromePath string, spans, waterfall bool) {
 	d := w.Desc()
 	if !d.SupportsSTATS {
 		fmt.Fprintf(os.Stderr, "statstrace: %s does not support STATS: %s\n", d.Name, d.RejectReason)
@@ -141,12 +143,18 @@ func liveMain(w workload.Workload, threads, size int, o workload.SpecOptions, se
 	fmt.Printf("validation latency p50 %dns p99 %dns over %d validations\n",
 		ob.ValidationLatencyNS.Quantile(0.5), ob.ValidationLatencyNS.Quantile(0.99),
 		ob.ValidationLatencyNS.Count())
-	if spans {
-		fmt.Println()
+	if spans || waterfall {
 		doc := telemetry.BuildSpans(events)
 		doc.Emitted = ob.Tracer.Emitted()
 		doc.Dropped = ob.Tracer.Dropped()
-		telemetry.RenderSpans(os.Stdout, doc)
+		if spans {
+			fmt.Println()
+			telemetry.RenderSpans(os.Stdout, doc)
+		}
+		if waterfall {
+			fmt.Println()
+			telemetry.RenderWaterfall(os.Stdout, doc)
+		}
 	}
 	fmt.Println()
 	fmt.Print(ob.Reg.Text())
@@ -161,7 +169,7 @@ func liveMain(w workload.Workload, threads, size int, o workload.SpecOptions, se
 }
 
 // renderSpanFile renders the span view of a saved /spans JSON document.
-func renderSpanFile(path string) error {
+func renderSpanFile(path string, waterfall bool) error {
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -171,6 +179,10 @@ func renderSpanFile(path string) error {
 		return fmt.Errorf("%s is not a /spans document: %w", path, err)
 	}
 	telemetry.RenderSpans(os.Stdout, &doc)
+	if waterfall {
+		fmt.Println()
+		telemetry.RenderWaterfall(os.Stdout, &doc)
+	}
 	return nil
 }
 

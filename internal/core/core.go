@@ -191,6 +191,17 @@ type Stats struct {
 	// footprint (0 unless Options.FootprintCheck is set).
 	FootprintViolations int
 
+	// LaneCPUCommittedNS and LaneCPUWastedNS split the run's lane
+	// CPU-time — wall-clock nanoseconds measured at lane boundaries
+	// (aux, group execution, redo, reservation reserve/compute,
+	// sequential fallback) — by whether the work's results were
+	// committed or discarded. Their ratio is the paper's speculation
+	// trade made visible: wasted/(wasted+committed) is the price paid
+	// for the wall-clock win. Purely sequential runs report zero for
+	// both (no lane boundaries are crossed).
+	LaneCPUCommittedNS int64
+	LaneCPUWastedNS    int64
+
 	// Scheduler counters, deltas over this run of the worker pool's
 	// sharded work-stealing dispatcher (§3.4 runtime). Steals are
 	// cross-worker dispatches, LocalHits the contention-free local-deque
@@ -415,6 +426,11 @@ type groupRun[I, S, O any] struct {
 	// the write.
 	failure groupFailure
 	failArg int64
+
+	// execNS is the group execution's wall-clock lane time, written by
+	// the lane before close(done) and read by the coordinator after
+	// <-done for wasted-work attribution.
+	execNS int64
 }
 
 // runSpeculative implements the §3.1 execution model. Outputs stream
@@ -466,6 +482,12 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 	// boundary inspection below turns the failure into an abort.
 	o := opts.Obs
 	groups[0].specStart = d.ops.Clone(initial)
+	// auxNS, commitNS and wasteNS feed the wasted-work attribution:
+	// per-group lane nanoseconds, resolved into committed vs discarded
+	// when the run's outcome is known (finishLaneCPU below).
+	auxNS := make([]int64, numGroups)
+	commitNS := make([]int64, numGroups)
+	wasteNS := make([]int64, numGroups)
 	for j := 1; j < numGroups; j++ {
 		lo := groups[j].start - window
 		if lo < 0 {
@@ -477,7 +499,9 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 		if ctl != nil {
 			ctl.Yield(sched.PointAux, coordLane)
 		}
+		auxStart := time.Now()
 		spec, ok := d.safeAux(specSrcs[j], initial, recent)
+		auxNS[j] = time.Since(auxStart).Nanoseconds()
 		if !ok {
 			groups[j].failure = failPanic
 			groups[j].aborted.Store(true)
@@ -599,6 +623,39 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 		}
 	}
 
+	// finishLaneCPU resolves the attribution once the outcome is known:
+	// groups before the abort point (all of them when speculation
+	// succeeded) committed their exec+aux lane time, groups at or past it
+	// wasted theirs; redo and fallback time was already filed into
+	// commitNS/wasteNS at the boundary that spent it. Every read of
+	// groups[j].execNS is ordered after the lane's write by <-done or
+	// wg.Wait. Stats always carries the split; the observer counters and
+	// per-group attribution events ride behind the usual nil check.
+	finishLaneCPU := func() {
+		for j := 0; j < numGroups; j++ {
+			spent := groups[j].execNS + auxNS[j]
+			if abortAt >= 0 && j >= abortAt {
+				wasteNS[j] += spent
+			} else {
+				commitNS[j] += spent
+			}
+			if commitNS[j] > 0 {
+				st.LaneCPUCommittedNS += commitNS[j]
+				if o != nil {
+					o.LaneCPUCommitted.Add(commitNS[j])
+					o.Tracer.Emit(obs.LaneCoord, obs.EvLaneCPUCommitted, int32(j), commitNS[j])
+				}
+			}
+			if wasteNS[j] > 0 {
+				st.LaneCPUWastedNS += wasteNS[j]
+				if o != nil {
+					o.LaneCPUWasted.Add(wasteNS[j])
+					o.Tracer.Emit(obs.LaneCoord, obs.EvLaneCPUWasted, int32(j), wasteNS[j])
+				}
+			}
+		}
+	}
+
 	first := groups[0]
 	if ctl != nil {
 		ctl.Block(coordLane)
@@ -659,6 +716,7 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 
 		redosUsed := 0
 		panicked := false
+		var redoNS, acceptedRedoNS int64
 		for t := 0; !matched && t < redoMax; t++ {
 			if o != nil {
 				o.Redos.Inc()
@@ -667,7 +725,10 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 			if ctl != nil {
 				ctl.Yield(sched.PointRedo, coordLane)
 			}
+			redoStart := time.Now()
 			redo, rok := d.safeRedoGroup(prev, inputs, &invocations)
+			thisRedoNS := time.Since(redoStart).Nanoseconds()
+			redoNS += thisRedoNS
 			if !rok {
 				// The re-execution (prev's compute or clone) panicked:
 				// the boundary cannot resolve, so the unvalidated
@@ -685,11 +746,17 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 			}
 			if m {
 				matched = true
+				acceptedRedoNS = thisRedoNS
 				// Commit the matching re-execution's suffix in
 				// place of the first execution's.
 				acceptedExec = spliceExecution(committed[j-1], redo, prev)
 			}
 		}
+		// Redo lane time burned at this boundary: the accepted
+		// re-execution (if any) produced committed outputs, every other
+		// redo is wasted work on the producing group.
+		commitNS[j-1] += acceptedRedoNS
+		wasteNS[j-1] += redoNS - acceptedRedoNS
 		if panicked {
 			cur.failure = failPanic
 			abort(j, redosUsed)
@@ -740,6 +807,7 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 		emitExec(emit, committed[numGroups-1], groups[numGroups-1].start)
 		st.Invocations += invocations.Load()
 		st.UsefulInvocations += int64(n) // one committed invocation per input
+		finishLaneCPU()
 		captureScheduler(st, p, poolBase)
 		return outs, committed[numGroups-1].final, *st
 	}
@@ -803,9 +871,14 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 	if ctl != nil {
 		ctl.Yield(sched.PointFallback, coordLane)
 	}
+	fbStart := time.Now()
 	fbOuts, final := d.runSequential(root, inputs[fallbackStart:], fallbackState, st, emit, fallbackStart)
+	// The sequential fallback produced committed outputs; its time is
+	// filed against the aborting group, whose speculative work it redid.
+	commitNS[abortAt] += time.Since(fbStart).Nanoseconds()
 	outs = append(outs, fbOuts...)
 	st.UsefulInvocations += int64(fallbackStart)
+	finishLaneCPU()
 	captureScheduler(st, p, poolBase)
 	return outs, final, *st
 }
@@ -903,10 +976,12 @@ func (d *Dependence[I, S, O]) executeGroup(r *rng.Source, inputs []I, gr *groupR
 
 	ctl := gr.ctl
 	deadlined := timeout > 0 && gr.idx > 0
-	var started time.Time
-	if deadlined && ctl == nil {
-		started = time.Now()
-	}
+	started := time.Now()
+	// Record the lane time on every exit — panic included, so a contained
+	// user-code panic still attributes the CPU burned before it.
+	defer func() {
+		gr.execNS = time.Since(started).Nanoseconds()
+	}()
 	if ctl != nil {
 		ctl.Yield(sched.PointGroupStart, gr.lane)
 	}

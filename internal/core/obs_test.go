@@ -104,6 +104,26 @@ func TestObservabilityInvariantsRandomized(t *testing.T) {
 				name, squashedInputs, st.SquashedInputs)
 		}
 
+		// Wasted-work attribution: the lane-CPU events, the counters and
+		// Stats are three accounts of the same nanoseconds.
+		var evCPUCommitted, evCPUWasted int64
+		for _, e := range events {
+			switch e.Kind {
+			case obs.EvLaneCPUCommitted:
+				evCPUCommitted += e.Arg
+			case obs.EvLaneCPUWasted:
+				evCPUWasted += e.Arg
+			}
+		}
+		if evCPUCommitted != st.LaneCPUCommittedNS || ob.LaneCPUCommitted.Value() != st.LaneCPUCommittedNS {
+			t.Fatalf("%s: committed lane CPU events %d, counter %d, stats %d",
+				name, evCPUCommitted, ob.LaneCPUCommitted.Value(), st.LaneCPUCommittedNS)
+		}
+		if evCPUWasted != st.LaneCPUWastedNS || ob.LaneCPUWasted.Value() != st.LaneCPUWastedNS {
+			t.Fatalf("%s: wasted lane CPU events %d, counter %d, stats %d",
+				name, evCPUWasted, ob.LaneCPUWasted.Value(), st.LaneCPUWastedNS)
+		}
+
 		// Histogram totals vs counter totals.
 		boundaries := int64(st.Matches + st.Aborts)
 		if got := ob.ValidationLatencyNS.Count(); got != boundaries {

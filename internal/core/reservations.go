@@ -255,6 +255,13 @@ func (r *resvRun[I, S, O]) runGroup(j, start, end int) (bool, []int) {
 	fps := make([][]int, width) // input i's footprint at fps[i-start]
 	states := make([]S, width)  // winners' returned states
 	won := make([]bool, width)
+	// Per-input lane nanoseconds for the round in flight, written by the
+	// owning lane inside a wave and read by the coordinator after the
+	// wave's barrier. Entries are zeroed once attributed so a failure
+	// sweep only picks up work no commitRound has filed yet.
+	reserveNS := make([]int64, width)
+	computeNS := make([]int64, width)
+	var gCommitNS, gWasteNS int64
 
 	if r.o != nil {
 		r.o.GroupsStarted.Inc()
@@ -297,6 +304,7 @@ func (r *resvRun[I, S, O]) runGroup(j, start, end int) (bool, []int) {
 			r.table[s].Store(int64(len(r.inputs)))
 		}
 		r.wave(sched.PointReserve, pending, func(lane, i int) {
+			laneStart := time.Now()
 			fp := r.footprintOf(i)
 			fps[i-start] = fp
 			for _, sl := range fp {
@@ -311,6 +319,7 @@ func (r *resvRun[I, S, O]) runGroup(j, start, end int) (bool, []int) {
 				r.o.Reserves.Inc()
 				r.o.Tracer.Emit(lane, obs.EvReserve, int32(j), ReservationArg(round, i))
 			}
+			reserveNS[i-start] = time.Since(laneStart).Nanoseconds()
 		})
 		if r.failed.Load() != int32(failNone) {
 			break
@@ -321,6 +330,10 @@ func (r *resvRun[I, S, O]) runGroup(j, start, end int) (bool, []int) {
 		// snapshot; losers carry forward.
 		r.wave(sched.PointReserveCheck, pending, func(lane, i int) {
 			k := i - start
+			laneStart := time.Now()
+			defer func() {
+				computeNS[k] = time.Since(laneStart).Nanoseconds()
+			}()
 			won[k] = true
 			for _, sl := range fps[k] {
 				if r.table[sl].Load() != int64(i) {
@@ -382,6 +395,20 @@ func (r *resvRun[I, S, O]) runGroup(j, start, end int) (bool, []int) {
 		if !r.commitRound(j, round, start, pending, fps, states, won) {
 			break
 		}
+		// Attribute the round's lane time: winners' reserve+compute was
+		// committed, losers' was the protocol's wasted work. Zero the
+		// entries once filed so the failure sweep below never double
+		// counts them.
+		for _, i := range pending {
+			k := i - start
+			spent := reserveNS[k] + computeNS[k]
+			if won[k] {
+				gCommitNS += spent
+			} else {
+				gWasteNS += spent
+			}
+			reserveNS[k], computeNS[k] = 0, 0
+		}
 		next := pending[:0]
 		for _, i := range pending {
 			if !won[i-start] {
@@ -391,6 +418,14 @@ func (r *resvRun[I, S, O]) runGroup(j, start, end int) (bool, []int) {
 		pending = next
 	}
 
+	if r.failed.Load() != int32(failNone) {
+		// A broken round commits nothing: every lane nanosecond it
+		// recorded is wasted work.
+		for k := 0; k < width; k++ {
+			gWasteNS += reserveNS[k] + computeNS[k]
+		}
+	}
+	r.flushLaneCPU(j, gCommitNS, gWasteNS)
 	if r.o != nil {
 		r.o.RoundsPerGroup.Observe(int64(rounds))
 		r.o.GroupsFinished.Inc()
@@ -468,6 +503,26 @@ func (r *resvRun[I, S, O]) commitRound(j, round, start int, pending []int, fps [
 		panic("core: reservation round committed nothing")
 	}
 	return true
+}
+
+// flushLaneCPU files one group's resolved lane-time attribution into the
+// run's Stats and, when observing, the wasted-work counters and the
+// per-group attribution events.
+func (r *resvRun[I, S, O]) flushLaneCPU(j int, committedNS, wastedNS int64) {
+	if committedNS > 0 {
+		r.st.LaneCPUCommittedNS += committedNS
+		if r.o != nil {
+			r.o.LaneCPUCommitted.Add(committedNS)
+			r.o.Tracer.Emit(obs.LaneCoord, obs.EvLaneCPUCommitted, int32(j), committedNS)
+		}
+	}
+	if wastedNS > 0 {
+		r.st.LaneCPUWastedNS += wastedNS
+		if r.o != nil {
+			r.o.LaneCPUWasted.Add(wastedNS)
+			r.o.Tracer.Emit(obs.LaneCoord, obs.EvLaneCPUWasted, int32(j), wastedNS)
+		}
+	}
 }
 
 // footprintOf evaluates the input's footprint against the committed
@@ -598,6 +653,7 @@ func (r *resvRun[I, S, O]) abort(j, numGroups, g, start, end int, pending []int)
 	// Fill the failed group's pending slots, then stream the whole group
 	// in input order (its committed outputs were never emitted), then the
 	// tail sequentially.
+	fbStart := time.Now()
 	for _, i := range pending {
 		r.seqOne(i)
 	}
@@ -612,6 +668,9 @@ func (r *resvRun[I, S, O]) abort(j, numGroups, g, start, end int, pending []int)
 			r.emit(i, r.outs[i])
 		}
 	}
+	// The fallback produced committed outputs; file its time against the
+	// aborting group, whose squashed work it redid.
+	r.flushLaneCPU(j, time.Since(fbStart).Nanoseconds(), 0)
 }
 
 // seqOne processes one input sequentially from the committed state with
@@ -665,12 +724,14 @@ func (r *resvRun[I, S, O]) setupFallback() ([]O, S, Stats) {
 	if r.ctl != nil {
 		r.ctl.Yield(sched.PointFallback, r.coordLane)
 	}
+	fbStart := time.Now()
 	for i := 0; i < n; i++ {
 		r.seqOne(i)
 		if r.emit != nil {
 			r.emit(i, r.outs[i])
 		}
 	}
+	r.flushLaneCPU(0, time.Since(fbStart).Nanoseconds(), 0)
 	return r.outs, r.shared, *r.st
 }
 

@@ -110,6 +110,11 @@ type ChaosResult struct {
 	// EventPanics and EventTimeouts are the event-log totals (EvPanic /
 	// EvGroupTimeout occurrences in the tracer).
 	EventPanics, EventTimeouts int64
+	// LaneCPUCommittedNS and LaneCPUWastedNS sum the engine's wasted-work
+	// attribution over the runs; EventLaneCommittedNS and
+	// EventLaneWastedNS are the event-log totals of the same nanoseconds.
+	LaneCPUCommittedNS, LaneCPUWastedNS     int64
+	EventLaneCommittedNS, EventLaneWastedNS int64
 	// MidScrapes counts /metrics expositions parsed between runs.
 	MidScrapes int
 	// OutputsIdentical is true when every run's outputs and final state
@@ -304,6 +309,11 @@ func chaosScenarioRun(sc ChaosScenario, inputs []int, baseOuts []int, baseFinal 
 	}
 	defer srv.Close()
 
+	// A fourth account of the campaign: an hour-window signals aggregator
+	// whose start-to-end deltas must equal the summed engine Stats.
+	sig := telemetry.NewSignals(ob, telemetry.SignalsConfig{Window: time.Hour, Breaker: b})
+	sig.Report() // baseline sample before any run
+
 	aux := fault.WrapAux(in, chaosAux, chaosGarbage)
 	res := ChaosResult{Name: sc.Name, Runs: sc.Runs, OutputsIdentical: true}
 	for run := 0; run < sc.Runs; run++ {
@@ -336,6 +346,8 @@ func chaosScenarioRun(sc ChaosScenario, inputs []int, baseOuts []int, baseFinal 
 		res.Aborts += st.Aborts
 		res.BreakerDenied += st.BreakerDenied
 		res.Rounds += st.Rounds
+		res.LaneCPUCommittedNS += st.LaneCPUCommittedNS
+		res.LaneCPUWastedNS += st.LaneCPUWastedNS
 
 		// A live scrape between runs: every exposition must parse and
 		// satisfy the registry's structural invariants.
@@ -358,6 +370,10 @@ func chaosScenarioRun(sc ChaosScenario, inputs []int, baseOuts []int, baseFinal 
 			res.EventPanics++
 		case obs.EvGroupTimeout:
 			res.EventTimeouts++
+		case obs.EvLaneCPUCommitted:
+			res.EventLaneCommittedNS += ev.Arg
+		case obs.EvLaneCPUWasted:
+			res.EventLaneWastedNS += ev.Arg
 		}
 	}
 
@@ -365,14 +381,15 @@ func chaosScenarioRun(sc ChaosScenario, inputs []int, baseOuts []int, baseFinal 
 	if err != nil {
 		return res, fmt.Errorf("final scrape: %w", err)
 	}
-	res.Reconciled = chaosReconciled(res, ob, b, final)
+	res.Reconciled = chaosReconciled(res, ob, b, final, sig.Report())
 	return res, nil
 }
 
-// chaosReconciled checks the three-way failure accounting: engine Stats
-// sums, observer instruments, the event log (when no events were dropped)
-// and the final /metrics exposition must agree exactly.
-func chaosReconciled(r ChaosResult, ob *obs.Observer, b *core.Breaker, m *telemetry.PromMetrics) bool {
+// chaosReconciled checks the failure accounting across every account the
+// runtime keeps: engine Stats sums, observer instruments, the event log
+// (when no events were dropped), the final /metrics exposition, and the
+// signals window's start-to-end deltas must agree exactly.
+func chaosReconciled(r ChaosResult, ob *obs.Observer, b *core.Breaker, m *telemetry.PromMetrics, rep telemetry.SignalsReport) bool {
 	v := func(name string) int64 {
 		f, _ := m.Value(name)
 		return int64(f)
@@ -382,10 +399,23 @@ func chaosReconciled(r ChaosResult, ob *obs.Observer, b *core.Breaker, m *teleme
 		int64(r.TimedOutGroups) == ob.GroupTimeouts.Value() &&
 		int64(r.TimedOutGroups) == v("stats_group_timeouts_total") &&
 		int64(r.Aborts) == ob.Aborts.Value() &&
-		int64(r.Aborts) == v("stats_aborts_total")
+		int64(r.Aborts) == v("stats_aborts_total") &&
+		r.LaneCPUCommittedNS == ob.LaneCPUCommitted.Value() &&
+		r.LaneCPUCommittedNS == v("stats_lane_cpu_committed_ns_total") &&
+		r.LaneCPUWastedNS == ob.LaneCPUWasted.Value() &&
+		r.LaneCPUWastedNS == v("stats_lane_cpu_wasted_ns_total")
+	// The signals window opened before the first run, so its deltas are
+	// the whole campaign.
+	ok = ok && rep.PanickedGroups == int64(r.PanickedGroups) &&
+		rep.TimedOutGroups == int64(r.TimedOutGroups) &&
+		rep.Aborts == int64(r.Aborts) &&
+		rep.LaneCPUCommittedNS == r.LaneCPUCommittedNS &&
+		rep.LaneCPUWastedNS == r.LaneCPUWastedNS
 	if ob.Tracer.Dropped() == 0 {
 		ok = ok && r.EventPanics == int64(r.PanickedGroups) &&
-			r.EventTimeouts == int64(r.TimedOutGroups)
+			r.EventTimeouts == int64(r.TimedOutGroups) &&
+			r.EventLaneCommittedNS == r.LaneCPUCommittedNS &&
+			r.EventLaneWastedNS == r.LaneCPUWastedNS
 	}
 	if b != nil {
 		snap := b.Snapshot()

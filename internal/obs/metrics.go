@@ -177,6 +177,79 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return histBucketHi(histBuckets - 1)
 }
 
+// HistBuckets is the exported bucket count of the log-scale histograms,
+// for consumers that carry HistogramSnapshot values around.
+const HistBuckets = histBuckets
+
+// HistogramSnapshot is a point-in-time copy of a histogram's buckets,
+// cheap to subtract and query — the building block for windowed
+// quantiles (telemetry.Signals keeps one per sample and reports
+// quantiles of the bucket deltas).
+type HistogramSnapshot struct {
+	Counts [HistBuckets]int64
+	Sum    int64
+	Count  int64
+}
+
+// Snapshot copies the histogram's current buckets. Count is derived from
+// the bucket copies so the snapshot is internally consistent even when
+// Observe races with it. A nil histogram yields a zero snapshot.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	for i := 0; i < histBuckets; i++ {
+		s.Counts[i] = h.counts[i].Load()
+		s.Count += s.Counts[i]
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// Sub returns the per-bucket difference s - base, clamping each bucket
+// (and the sum and count) at zero so a racing base snapshot can never
+// produce negative window counts.
+func (s HistogramSnapshot) Sub(base HistogramSnapshot) HistogramSnapshot {
+	var d HistogramSnapshot
+	for i := 0; i < histBuckets; i++ {
+		if v := s.Counts[i] - base.Counts[i]; v > 0 {
+			d.Counts[i] = v
+			d.Count += v
+		}
+	}
+	if v := s.Sum - base.Sum; v > 0 {
+		d.Sum = v
+	}
+	return d
+}
+
+// Quantile returns the same upper-bound q-quantile estimate as
+// Histogram.Quantile, computed over the snapshot's buckets.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(s.Count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += s.Counts[i]
+		if cum >= target {
+			return histBucketHi(i)
+		}
+	}
+	return histBucketHi(histBuckets - 1)
+}
+
 // Registry is a named collection of counters, gauges and histograms with a
 // deterministic Prometheus text exposition. Instruments are get-or-create
 // by name, so independent components can share a registry without

@@ -91,6 +91,14 @@ type Observer struct {
 	// caught being touched outside a declared reservation footprint.
 	FootprintViolations *Counter
 
+	// LaneCPUCommitted and LaneCPUWasted accumulate the lane CPU-time
+	// (wall-clock nanoseconds measured at lane boundaries) whose results
+	// were committed vs discarded — the wasted-work split the paper's
+	// speculation trade lives on. Their sum over a run equals
+	// Stats.LaneCPUCommittedNS + Stats.LaneCPUWastedNS.
+	LaneCPUCommitted *Counter
+	LaneCPUWasted    *Counter
+
 	// Steals, LocalHits and TasksDone count the scheduler's dispatches:
 	// cross-worker steals, contention-free local pops, and completed
 	// tasks.
@@ -148,6 +156,9 @@ func NewObserver(lanes, perLaneCap int) *Observer {
 
 		FootprintViolations: reg.Counter("stats_footprint_violations_total"),
 
+		LaneCPUCommitted: reg.Counter("stats_lane_cpu_committed_ns_total"),
+		LaneCPUWasted:    reg.Counter("stats_lane_cpu_wasted_ns_total"),
+
 		Steals:    reg.Counter("sched_steals_total"),
 		LocalHits: reg.Counter("sched_local_hits_total"),
 		TasksDone: reg.Counter("sched_tasks_done_total"),
@@ -178,6 +189,8 @@ func NewObserver(lanes, perLaneCap int) *Observer {
 		"stats_reserve_conflicts_total":         "inputs that lost a reserved slot to a lower index and carried forward",
 		"stats_reservation_commits_total":       "inputs committed by the reservations coordinator",
 		"stats_footprint_violations_total":      "state slots touched outside a declared reservation footprint (FootprintCheck oracle)",
+		"stats_lane_cpu_committed_ns_total":     "lane CPU nanoseconds whose results were committed",
+		"stats_lane_cpu_wasted_ns_total":        "lane CPU nanoseconds whose results were discarded (aborts, squashes, timeouts, lost reservations)",
 		"stats_rounds_per_group":                "reserve/check/commit rounds needed per reservations group",
 		"sched_steals_total":                    "cross-worker task dispatches (work stealing)",
 		"sched_local_hits_total":                "contention-free local-deque task dispatches",

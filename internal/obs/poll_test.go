@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"testing"
+)
+
+// TestPollIncremental: successive polls deliver each event exactly once,
+// and together cover everything a full snapshot sees.
+func TestPollIncremental(t *testing.T) {
+	tr := NewTracer(2, 1<<8)
+	var c Cursor
+	var got []Event
+
+	for i := 0; i < 10; i++ {
+		tr.Emit(i%2, EvGroupStart, int32(i), int64(i))
+	}
+	got, d := tr.Poll(&c, got)
+	if d != 0 {
+		t.Fatalf("dropped %d on an unwrapped ring", d)
+	}
+	if len(got) != 10 {
+		t.Fatalf("first poll delivered %d events, want 10", len(got))
+	}
+
+	// Nothing new: the poll is empty, not a replay.
+	again, d := tr.Poll(&c, nil)
+	if len(again) != 0 || d != 0 {
+		t.Fatalf("idle poll delivered %d events (%d dropped), want none", len(again), d)
+	}
+
+	tr.Emit(0, EvGroupFinish, 3, 7)
+	more, d := tr.Poll(&c, nil)
+	if d != 0 || len(more) != 1 || more[0].Kind != EvGroupFinish || more[0].Group != 3 {
+		t.Fatalf("incremental poll = %v (%d dropped), want the one new finish", more, d)
+	}
+
+	seen := map[int32]bool{}
+	for _, e := range got {
+		seen[e.Group] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("poll lost groups: saw %d of 10", len(seen))
+	}
+}
+
+// TestPollWrapCountsDropped: a cursor left behind a lapped ring reports
+// exactly how many events it lost and resumes at the oldest retained one.
+func TestPollWrapCountsDropped(t *testing.T) {
+	const cap = 1 << 4
+	tr := NewTracer(1, cap)
+	var c Cursor
+
+	tr.Emit(0, EvGroupStart, 0, 0)
+	if got, d := tr.Poll(&c, nil); len(got) != 1 || d != 0 {
+		t.Fatalf("warmup poll = %d events, %d dropped", len(got), d)
+	}
+
+	// Lap the ring: 3*cap more events while the cursor sleeps.
+	for i := 0; i < 3*cap; i++ {
+		tr.Emit(0, EvGroupStart, int32(i+1), 0)
+	}
+	got, d := tr.Poll(&c, nil)
+	if len(got) != cap {
+		t.Errorf("post-lap poll delivered %d events, want the %d retained", len(got), cap)
+	}
+	if want := int64(3*cap) - cap; d != want {
+		t.Errorf("post-lap poll counted %d dropped, want %d", d, want)
+	}
+	// The survivors are the newest, in order.
+	for i := 1; i < len(got); i++ {
+		if got[i].Group != got[i-1].Group+1 {
+			t.Fatalf("poll out of order at %d: %v -> %v", i, got[i-1], got[i])
+		}
+	}
+	if got[len(got)-1].Group != int32(3*cap) {
+		t.Errorf("last polled group = %d, want %d (the newest)", got[len(got)-1].Group, 3*cap)
+	}
+}
+
+// TestPollMultiLane: the cursor tracks each ring independently.
+func TestPollMultiLane(t *testing.T) {
+	tr := NewTracer(3, 1<<4)
+	var c Cursor
+	tr.Emit(0, EvGroupStart, 0, 0)
+	tr.Emit(2, EvGroupStart, 2, 0)
+	got, _ := tr.Poll(&c, nil)
+	if len(got) != 2 {
+		t.Fatalf("poll delivered %d events across lanes, want 2", len(got))
+	}
+	tr.Emit(1, EvGroupStart, 1, 0)
+	got, _ = tr.Poll(&c, nil)
+	if len(got) != 1 || got[0].Group != 1 {
+		t.Fatalf("poll after lane-1 emit = %v, want just group 1", got)
+	}
+}
+
+// TestPollNilTracer: a nil tracer polls to nothing, like every other obs
+// no-op path.
+func TestPollNilTracer(t *testing.T) {
+	var tr *Tracer
+	var c Cursor
+	got, d := tr.Poll(&c, nil)
+	if len(got) != 0 || d != 0 {
+		t.Fatalf("nil tracer polled %d events, %d dropped", len(got), d)
+	}
+}
+
+// TestHistogramSnapshotSub: windowed bucket deltas and their quantiles.
+func TestHistogramSnapshotSub(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("x")
+	for i := 0; i < 100; i++ {
+		h.Observe(1 << 20) // old tail
+	}
+	base := h.Snapshot()
+	for i := 0; i < 100; i++ {
+		h.Observe(1000)
+	}
+	cur := h.Snapshot()
+
+	win := cur.Sub(base)
+	if win.Count != 100 {
+		t.Errorf("windowed count = %d, want 100", win.Count)
+	}
+	if q := win.Quantile(0.99); q >= 1<<20 {
+		t.Errorf("windowed p99 = %d still sees the pre-window tail", q)
+	}
+	if q := win.Quantile(0.5); q > 2047 {
+		t.Errorf("windowed p50 = %d, want within the 1µs bucket", q)
+	}
+
+	// Regression (counter reset) clamps to zero rather than going negative.
+	neg := base.Sub(cur)
+	if neg.Count != 0 || neg.Sum != 0 {
+		t.Errorf("clamped sub = count %d sum %d, want zeros", neg.Count, neg.Sum)
+	}
+
+	// Nil receiver snapshots to zero.
+	var nilH *Histogram
+	if s := nilH.Snapshot(); s.Count != 0 {
+		t.Errorf("nil histogram snapshot count = %d", s.Count)
+	}
+}

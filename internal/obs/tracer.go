@@ -75,6 +75,14 @@ const (
 	// slot outside its declared reservation footprint, caught by the
 	// Options.FootprintCheck oracle. Arg is the offending slot.
 	EvFootprintViolation
+	// EvLaneCPUCommitted attributes lane CPU-time whose results were
+	// committed to a group, emitted by the engine at resolution time.
+	// Arg is the attributed wall-clock nanoseconds.
+	EvLaneCPUCommitted
+	// EvLaneCPUWasted attributes lane CPU-time whose results were
+	// discarded — aborted, squashed, timed out, or spent on losing
+	// reservation attempts. Arg is the attributed nanoseconds.
+	EvLaneCPUWasted
 
 	numEventKinds // sentinel, keep last
 )
@@ -101,6 +109,8 @@ var eventKindNames = [numEventKinds]string{
 	EvReserveLost:        "reserve-lost",
 	EvCommit:             "commit",
 	EvFootprintViolation: "footprint-violation",
+	EvLaneCPUCommitted:   "lane-cpu-committed",
+	EvLaneCPUWasted:      "lane-cpu-wasted",
 }
 
 // String returns the kind's stable exposition name.
@@ -296,6 +306,68 @@ func (t *Tracer) Emitted() int64 {
 		n += int64(t.rings[i].pos.Load())
 	}
 	return n
+}
+
+// Cursor tracks a Poll consumer's read position, one ticket per lane
+// ring. The zero Cursor reads each ring from its oldest surviving event.
+// A Cursor belongs to one tracer and one consumer; it is not safe for
+// concurrent use.
+type Cursor struct {
+	next []uint64
+}
+
+// Poll appends the events published since the cursor's last position to
+// buf (which may be nil) and advances the cursor, returning the extended
+// buffer and the number of events lost to ring wrap-around since the
+// previous poll. Unlike Snapshot, Poll is incremental and in order per
+// ring: each ring is read oldest-first, and a slot still being written
+// stops that ring's scan until the next poll, so no published event is
+// skipped or delivered twice. Events from different rings are appended
+// ring by ring, not merged by time — sort the batch if folding requires
+// it. A nil tracer appends nothing.
+func (t *Tracer) Poll(c *Cursor, buf []Event) ([]Event, int64) {
+	if t == nil {
+		return buf, 0
+	}
+	if len(c.next) < len(t.rings) {
+		c.next = append(c.next, make([]uint64, len(t.rings)-len(c.next))...)
+	}
+	var dropped int64
+	for ri := range t.rings {
+		r := &t.rings[ri]
+		pos := r.pos.Load()
+		capacity := uint64(len(r.slots))
+		ticket := c.next[ri]
+		if pos > capacity && ticket < pos-capacity {
+			// The ring lapped us while we were away: everything below
+			// pos-capacity is gone.
+			dropped += int64(pos - capacity - ticket)
+			ticket = pos - capacity
+		}
+		for ; ticket < pos; ticket++ {
+			s := &r.slots[ticket&(capacity-1)]
+			want := ticket + seqBase
+			seq := s.seq.Load()
+			if seq < want {
+				// Claimed but not yet published (mid-write): resume
+				// here on the next poll to keep in-order delivery.
+				break
+			}
+			if seq != want {
+				dropped++ // overwritten while we were behind
+				continue
+			}
+			ts, meta, arg := s.ts.Load(), s.meta.Load(), s.arg.Load()
+			if s.seq.Load() != want {
+				dropped++ // overwritten while we read the payload
+				continue
+			}
+			kind, lane, group := unpackMeta(meta)
+			buf = append(buf, Event{TS: ts, Lane: lane, Kind: kind, Group: group, Arg: arg})
+		}
+		c.next[ri] = ticket
+	}
+	return buf, dropped
 }
 
 // Dropped returns how many events have been evicted by ring wrap-around —

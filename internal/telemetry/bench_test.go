@@ -86,6 +86,51 @@ func BenchmarkEmitDisabledObserver(b *testing.B) {
 	}
 }
 
+// BenchmarkSpanFolderWarm measures the always-on profiler's steady
+// state: the folder already holds a full ring's worth of groups, and
+// each iteration folds one new group's events and rereads the document.
+// This is the warm /spans path; its allocs/op must stay O(new events),
+// not O(ring) like the one-shot BuildSpans above — the BENCH_budget.json
+// ceiling enforces the gap (the budget is 10% of the BuildSpans
+// baseline's 27036 allocs/op).
+func BenchmarkSpanFolderWarm(b *testing.B) {
+	o := obs.NewObserver(4, 1<<12)
+	f := NewSpanFolder(o.Tracer)
+	for g := int32(0); g < 1<<12; g++ {
+		lane := int(g) % 4
+		o.Tracer.Emit(lane, obs.EvGroupStart, g, 0)
+		o.Tracer.Emit(lane, obs.EvGroupFinish, g, 8)
+		o.Tracer.Emit(0, obs.EvValidateMatch, g, 0)
+	}
+	f.Doc() // warm: fold the backlog once
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := int32(1<<12 + i)
+		lane := int(g) % 4
+		o.Tracer.Emit(lane, obs.EvGroupStart, g, 0)
+		o.Tracer.Emit(lane, obs.EvGroupFinish, g, 8)
+		o.Tracer.Emit(0, obs.EvValidateMatch, g, 0)
+		f.Doc()
+	}
+}
+
+// BenchmarkSignalsReport measures one windowed report against a live
+// observer — the /signals and gauge-sampling hot path. Like the warm
+// folder it carries an allocs/op ceiling in BENCH_budget.json.
+func BenchmarkSignalsReport(b *testing.B) {
+	o := obs.NewObserver(4, 1<<12)
+	sig := NewSignals(o, SignalsConfig{Window: 5 * time.Second})
+	sig.Report()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Matches.Inc()
+		o.ValidationLatencyNS.Observe(int64(i)&1023 + 1)
+		sig.Report()
+	}
+}
+
 // BenchmarkBuildSpans measures span reconstruction over a full ring.
 func BenchmarkBuildSpans(b *testing.B) {
 	o := obs.NewObserver(4, 1<<12)

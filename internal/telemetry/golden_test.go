@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// update rewrites the golden files instead of comparing against them:
+//
+//	go test ./internal/telemetry -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden compares got against the golden file at path, or rewrites
+// the file under -update.
+func checkGolden(t *testing.T, path, got string) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestWaterfallGolden pins the waterfall rendering: the golden event log
+// plus wasted-work attribution events, rendered as per-group bars, phase
+// chains, waste shares and the critical-path footer.
+func TestWaterfallGolden(t *testing.T) {
+	log := append(goldenLog(),
+		obs.Event{TS: 6300, Lane: obs.LaneCoord, Kind: obs.EvLaneCPUCommitted, Group: 1, Arg: 4000},
+		obs.Event{TS: 6300, Lane: obs.LaneCoord, Kind: obs.EvLaneCPUWasted, Group: 2, Arg: 4600},
+	)
+	checkGolden(t, "testdata/waterfall.golden", WaterfallString(BuildSpans(log)))
+}
+
+// TestSignalsJSONGolden pins the /signals JSON shape: field names, the
+// derived rates and the windowed quantiles, computed from a hand-built
+// counter history under an injected clock.
+func TestSignalsJSONGolden(t *testing.T) {
+	o := obs.NewObserver(1, 64)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	sig := NewSignals(o, SignalsConfig{Window: 10 * time.Second, Now: clk.now})
+	sig.Report() // baseline sample at t=0
+
+	clk.advance(2 * time.Second)
+	o.Matches.Add(90)
+	o.Mismatches.Add(10)
+	o.Aborts.Add(10)
+	o.Redos.Add(15)
+	o.FallbackInputs.Add(40)
+	o.SpecCommittedInputs.Add(760)
+	o.GroupsFinished.Add(100)
+	o.PanickedGroups.Add(2)
+	o.GroupTimeouts.Add(1)
+	o.BreakerDenied.Add(1)
+	o.Steals.Add(25)
+	o.LocalHits.Add(75)
+	o.Commits.Add(300)
+	for i := 0; i < 50; i++ {
+		o.RoundsPerGroup.Observe(3)
+	}
+	o.LaneCPUCommitted.Add(9_000_000)
+	o.LaneCPUWasted.Add(1_000_000)
+	for i := 0; i < 95; i++ {
+		o.ValidationLatencyNS.Observe(900)
+	}
+	for i := 0; i < 5; i++ {
+		o.ValidationLatencyNS.Observe(60_000)
+	}
+
+	rep := sig.Report()
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "testdata/signals.golden", string(blob)+"\n")
+}

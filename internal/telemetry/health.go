@@ -1,7 +1,6 @@
 package telemetry
 
 import (
-	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -88,35 +87,35 @@ func (c HealthConfig) withDefaults() HealthConfig {
 	return c
 }
 
-// healthSample is one counter reading.
-type healthSample struct {
-	t                           time.Time
-	matches, mismatches, aborts int64
-	fallback, specCommits       int64
-}
-
-// maxHealthSamples bounds the sample ring; beyond it the oldest in-window
-// samples are collapsed pairwise (halving resolution, keeping coverage).
-const maxHealthSamples = 512
-
-// Health evaluates the speculation counters of an Observer over a sliding
-// window into an ok/degraded/aborting verdict. Each Eval call takes a
-// fresh counter sample, prunes samples older than the window, and judges
-// the deltas between the oldest retained sample and now — so the model
-// recovers to Ok once a storm ages out of the window. Eval is cheap
-// (atomic counter reads) and safe for concurrent use.
+// Health judges an ok/degraded/aborting verdict from the windowed
+// control signals a Signals aggregator computes. It owns no sampling of
+// its own: Eval takes (or shares) one Signals report and applies the
+// configured thresholds to its rates, so /healthz and /signals always
+// describe the same window — one source of truth. The verdict recovers
+// to Ok once a storm ages out of the signals window. Eval is cheap and
+// safe for concurrent use.
 type Health struct {
 	cfg HealthConfig
-	o   *obs.Observer
-
-	mu      sync.Mutex
-	samples []healthSample
+	sig *Signals
 }
 
-// NewHealth builds a health model over o's counters.
+// NewHealth builds a health model over o's counters, with a private
+// signals aggregator carrying the config's window and clock. To share
+// one aggregator between /healthz and /signals, use NewHealthOver.
 func NewHealth(o *obs.Observer, cfg HealthConfig) *Health {
-	return &Health{cfg: cfg.withDefaults(), o: o}
+	cfg = cfg.withDefaults()
+	return NewHealthOver(NewSignals(o, SignalsConfig{Window: cfg.Window, Now: cfg.Now}), cfg)
 }
+
+// NewHealthOver builds a health model judging an existing signals
+// aggregator. The aggregator's window (not cfg.Window) is what the
+// verdict covers.
+func NewHealthOver(sig *Signals, cfg HealthConfig) *Health {
+	return &Health{cfg: cfg.withDefaults(), sig: sig}
+}
+
+// Signals returns the aggregator the verdict reads.
+func (h *Health) Signals() *Signals { return h.sig }
 
 // HealthReport is one Eval verdict with the rates that produced it — the
 // payload of the server's /healthz endpoint.
@@ -152,78 +151,34 @@ func (r HealthReport) state() HealthState {
 	return HealthOk
 }
 
-// Eval takes a counter sample and returns the current verdict.
+// Eval takes a signals reading and returns the current verdict.
 func (h *Health) Eval() HealthReport {
-	now := h.cfg.Now()
-	cur := healthSample{
-		t:           now,
-		matches:     h.o.Matches.Value(),
-		mismatches:  h.o.Mismatches.Value(),
-		aborts:      h.o.Aborts.Value(),
-		fallback:    h.o.FallbackInputs.Value(),
-		specCommits: h.o.SpecCommittedInputs.Value(),
-	}
+	return h.Judge(h.sig.Report())
+}
 
-	h.mu.Lock()
-	// Prune to the window: keep every sample inside it plus the newest
-	// sample at or before its left edge, which becomes the baseline —
-	// so the deltas cover the whole window, and a storm ages out once
-	// no retained sample straddles it.
-	cutoff := now.Add(-h.cfg.Window)
-	first := 0
-	for first < len(h.samples)-1 && !h.samples[first+1].t.After(cutoff) {
-		first++
-	}
-	if first > 0 {
-		h.samples = append(h.samples[:0], h.samples[first:]...)
-	}
-	var base healthSample
-	if len(h.samples) > 0 {
-		base = h.samples[0]
-	} else {
-		base = cur
-	}
-	h.samples = append(h.samples, cur)
-	if len(h.samples) > maxHealthSamples {
-		// Collapse pairwise: keep every second sample.
-		kept := h.samples[:0]
-		for i := 0; i < len(h.samples); i += 2 {
-			kept = append(kept, h.samples[i])
-		}
-		h.samples = kept
-	}
-	h.mu.Unlock()
-
-	d := func(a, b int64) int64 {
-		if b < a {
-			return 0 // counter reset (new observer behind the same model)
-		}
-		return b - a
-	}
-	validations := d(base.matches, cur.matches) + d(base.aborts, cur.aborts)
+// Judge applies the configured thresholds to an already-computed signals
+// report — the path for callers who have just read the shared aggregator
+// and must not advance its window twice.
+func (h *Health) Judge(r SignalsReport) HealthReport {
 	rep := HealthReport{
-		WindowSeconds: h.cfg.Window.Seconds(),
-		Validations:   validations,
-		TracerDropped: h.o.Tracer.Dropped(),
-	}
-	if validations > 0 {
-		rep.MismatchRate = float64(d(base.mismatches, cur.mismatches)) / float64(validations)
-		rep.AbortRate = float64(d(base.aborts, cur.aborts)) / float64(validations)
-	}
-	fb := d(base.fallback, cur.fallback)
-	sc := d(base.specCommits, cur.specCommits)
-	if fb+sc > 0 {
-		rep.FallbackRate = float64(fb) / float64(fb+sc)
+		WindowSeconds: r.WindowSeconds,
+		Validations:   r.Validations,
+		MismatchRate:  r.MismatchRate,
+		AbortRate:     r.AbortRate,
+		FallbackRate:  r.FallbackRate,
+		TracerDropped: r.TracerDropped,
+		Breaker:       r.Breaker,
 	}
 
 	state := HealthOk
-	enoughVals := validations >= h.cfg.MinValidations
+	enoughVals := r.Validations >= h.cfg.MinValidations
+	anyInputs := r.FallbackInputs+r.SpecCommittedInputs > 0
 	switch {
 	case (enoughVals && rep.AbortRate >= h.cfg.AbortingAbortRate) ||
-		(fb+sc > 0 && rep.FallbackRate >= h.cfg.AbortingFallbackRate):
+		(anyInputs && rep.FallbackRate >= h.cfg.AbortingFallbackRate):
 		state = HealthAborting
 	case (enoughVals && (rep.MismatchRate >= h.cfg.DegradedMismatchRate || rep.AbortRate > 0)) ||
-		(fb+sc > 0 && rep.FallbackRate >= h.cfg.DegradedFallbackRate):
+		(anyInputs && rep.FallbackRate >= h.cfg.DegradedFallbackRate):
 		state = HealthDegraded
 	}
 	rep.State = state.String()

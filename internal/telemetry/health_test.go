@@ -135,7 +135,7 @@ func TestHealthCounterReset(t *testing.T) {
 	// sample where counters went backwards by evaluating against the
 	// original baseline after only smaller increments on a new observer.
 	o2 := obs.NewObserver(1, 64)
-	h.o = o2 // counters all below the baseline sample now
+	h.sig.o = o2 // counters all below the baseline sample now
 	rep := h.Eval()
 	if rep.State != "ok" || rep.Validations != 0 {
 		t.Fatalf("counter reset judged %q with %d validations, want ok/0: %+v",
@@ -143,23 +143,23 @@ func TestHealthCounterReset(t *testing.T) {
 	}
 }
 
-// TestHealthSampleBound: pounding Eval far past maxHealthSamples must keep
+// TestHealthSampleBound: pounding Eval far past maxSignalSamples must keep
 // the ring bounded (pairwise collapse) without losing window coverage.
 func TestHealthSampleBound(t *testing.T) {
 	o := obs.NewObserver(1, 64)
 	clk := &fakeClock{t: time.Unix(1000, 0)}
 	h := NewHealth(o, HealthConfig{Window: time.Hour, Now: clk.now})
 
-	for i := 0; i < 4*maxHealthSamples; i++ {
+	for i := 0; i < 4*maxSignalSamples; i++ {
 		clk.advance(time.Millisecond)
 		o.Matches.Inc()
 		h.Eval()
 	}
-	h.mu.Lock()
-	n := len(h.samples)
-	h.mu.Unlock()
-	if n > maxHealthSamples+1 {
-		t.Fatalf("sample ring grew to %d, bound is %d", n, maxHealthSamples)
+	h.sig.mu.Lock()
+	n := len(h.sig.samples)
+	h.sig.mu.Unlock()
+	if n > maxSignalSamples+1 {
+		t.Fatalf("sample ring grew to %d, bound is %d", n, maxSignalSamples)
 	}
 	rep := h.Eval()
 	if rep.Validations == 0 {

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// The signals aggregator is supposed to be a faithful windowed view of
+// the engine's own accounting: over a window that covers an entire run,
+// every raw delta in a SignalsReport must equal the corresponding
+// core.Stats field. This file checks that property over randomized
+// option vectors for both protocols, with fault injection supplying the
+// panics and garbage states that make the unhappy-path counters move.
+
+// propState is a prefix-sum dependence state, exact enough that the
+// auxiliary code can be made right or wrong on demand via the window.
+type propState struct{ Sum float64 }
+
+func propOps() core.StateOps[propState] {
+	return core.StateOps[propState]{
+		Clone: func(s propState) propState { return s },
+		MatchAny: func(spec propState, originals []propState) bool {
+			for _, o := range originals {
+				if spec.Sum == o.Sum {
+					return true
+				}
+			}
+			return false
+		},
+	}
+}
+
+func propCompute(_ *rng.Source, in int, s propState) (int, propState) {
+	s.Sum += float64(in)
+	return in*2 + int(s.Sum), s
+}
+
+// propAux is exact only when the engine's window covers the whole
+// prefix; short windows make it guess wrong, driving mismatches, redos
+// and aborts without any injected fault.
+func propAux(_ *rng.Source, init propState, recent []int) propState {
+	for _, v := range recent {
+		init.Sum += float64(v)
+	}
+	return init
+}
+
+func propGarbage(s propState) propState { return propState{Sum: s.Sum - 1e12} }
+
+// TestSignalsReconcileWithEngineStats: for >=200 random option vectors
+// under both protocols, an hour-window Signals built on a fresh observer
+// reports deltas byte-for-byte equal to the run's core.Stats.
+func TestSignalsReconcileWithEngineStats(t *testing.T) {
+	r := rng.New(0x51675)
+	const cases = 208
+	protocols := []core.Protocol{core.ProtocolAux, core.ProtocolReservations}
+	sawAbort, sawPanic, sawRounds, sawWaste := false, false, false, false
+	for c := 0; c < cases; c++ {
+		proto := protocols[c%2]
+		n := 1 + r.Intn(48)
+		inputs := make([]int, n)
+		for i := range inputs {
+			inputs[i] = 1 + r.Intn(9)
+		}
+
+		ob := obs.NewObserver(1+r.Intn(6), 1<<13)
+		sig := NewSignals(ob, SignalsConfig{Window: time.Hour})
+		sig.Report() // baseline sample: the observer is fresh, all zeros
+
+		in := fault.New(fault.Config{
+			Seed:         r.Uint64(),
+			AuxPanicRate: r.Range(0, 0.2),
+			GarbageRate:  r.Range(0, 0.3),
+		})
+		aux := fault.WrapAux(in, propAux, propGarbage)
+		window := n
+		if r.Bool(0.4) {
+			window = r.Intn(8) // short window: aux guesses wrong
+		}
+		d := core.New(propCompute, aux, propOps())
+		_, _, st := d.Run(inputs, propState{}, core.Options{
+			UseAux:    true,
+			Protocol:  proto,
+			GroupSize: 1 + r.Intn(12),
+			Window:    window,
+			RedoMax:   r.Intn(3),
+			Rollback:  1 + r.Intn(4),
+			Workers:   1 + r.Intn(4),
+			Seed:      r.Uint64(),
+			Obs:       ob,
+		})
+		rep := sig.Report()
+		name := fmt.Sprintf("case %d (proto=%v n=%d window=%d)", c, proto, n, window)
+
+		for _, chk := range []struct {
+			what string
+			got  int64
+			want int64
+		}{
+			{"validations", rep.Validations, int64(st.Matches + st.Aborts)},
+			{"matches", rep.Matches, int64(st.Matches)},
+			{"aborts", rep.Aborts, int64(st.Aborts)},
+			{"redos", rep.Redos, int64(st.Redos)},
+			{"fallback inputs", rep.FallbackInputs, int64(st.FallbackInputs)},
+			{"spec-committed inputs", rep.SpecCommittedInputs, int64(st.SpeculativeCommits)},
+			{"panicked groups", rep.PanickedGroups, int64(st.PanickedGroups)},
+			{"timed-out groups", rep.TimedOutGroups, int64(st.TimedOutGroups)},
+			{"breaker-denied runs", rep.BreakerDeniedRuns, int64(st.BreakerDenied)},
+			{"reservation rounds", rep.ReservationRounds, int64(st.Rounds)},
+			{"steals", rep.Steals, st.Steals},
+			{"local hits", rep.LocalHits, st.LocalHits},
+			{"committed lane CPU", rep.LaneCPUCommittedNS, st.LaneCPUCommittedNS},
+			{"wasted lane CPU", rep.LaneCPUWastedNS, st.LaneCPUWastedNS},
+		} {
+			if chk.got != chk.want {
+				t.Fatalf("%s: windowed %s = %d, engine stats say %d",
+					name, chk.what, chk.got, chk.want)
+			}
+		}
+
+		sawAbort = sawAbort || st.Aborts > 0
+		sawPanic = sawPanic || st.PanickedGroups > 0
+		sawRounds = sawRounds || st.Rounds > 0
+		sawWaste = sawWaste || st.LaneCPUWastedNS > 0
+	}
+	if !sawAbort || !sawPanic || !sawRounds || !sawWaste {
+		t.Fatalf("sample did not exercise all paths: abort=%v panic=%v rounds=%v waste=%v",
+			sawAbort, sawPanic, sawRounds, sawWaste)
+	}
+}

@@ -70,6 +70,7 @@ func (c Config) withDefaults() Config {
 //
 //	GET /metrics  Prometheus text exposition of the metrics registry
 //	GET /healthz  windowed speculation health (200 ok/degraded, 503 aborting)
+//	GET /signals  rolling control signals (JSON; ?stream=1 for SSE)
 //	GET /events   live SSE stream of the speculation event log
 //	GET /trace    Chrome trace_event JSON flight-recorder dump
 //	GET /spans    causal span trees reconstructed from the event log
@@ -80,8 +81,10 @@ func (c Config) withDefaults() Config {
 // Tracer.Emit. Use Start/Close for a standalone listener, or Handler to
 // embed the surface in an existing mux.
 type Server struct {
-	cfg    Config
-	health *Health
+	cfg     Config
+	signals *Signals
+	health  *Health
+	folder  *SpanFolder
 
 	// scrapes counts /metrics requests; sseDropped counts events
 	// dropped on the way to slow SSE clients; sseDisconnects counts
@@ -106,9 +109,19 @@ func NewServer(cfg Config) *Server {
 	}
 	cfg = cfg.withDefaults()
 	reg := cfg.Observer.Reg
+	// One signals aggregator backs /signals, the signal gauges and the
+	// /healthz verdict — a single windowed source of truth.
+	hc := cfg.Health.withDefaults()
+	sig := NewSignals(cfg.Observer, SignalsConfig{
+		Window:  hc.Window,
+		Now:     hc.Now,
+		Breaker: cfg.Breaker,
+	})
 	s := &Server{
 		cfg:            cfg,
-		health:         NewHealth(cfg.Observer, cfg.Health),
+		signals:        sig,
+		health:         NewHealthOver(sig, cfg.Health),
+		folder:         NewSpanFolder(cfg.Observer.Tracer),
 		scrapes:        reg.Counter("telemetry_scrapes_total"),
 		sseDropped:     reg.Counter("telemetry_sse_dropped_events_total"),
 		sseDisconnects: reg.Counter("telemetry_sse_disconnects_total"),
@@ -122,11 +135,16 @@ func NewServer(cfg Config) *Server {
 	if cfg.Breaker != nil {
 		cfg.Breaker.Register(reg)
 	}
+	sig.Register(reg)
 	return s
 }
 
 // Health returns the server's health model (the one /healthz evaluates).
 func (s *Server) Health() *Health { return s.health }
+
+// Signals returns the server's shared signals aggregator (the one
+// /signals serves and /healthz judges).
+func (s *Server) Signals() *Signals { return s.signals }
 
 // Handler returns the telemetry surface as an http.Handler, for embedding
 // into an existing server or mux.
@@ -135,6 +153,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/signals", s.handleSignals)
 	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/trace", s.handleTrace)
 	mux.HandleFunc("/spans", s.handleSpans)
@@ -223,7 +242,11 @@ func (s *Server) sampleLoop() {
 		case <-s.done:
 			return
 		case <-t.C:
-			s.health.Eval()
+			// One Report advances the shared window for both /signals
+			// and /healthz, and keeps the signal gauges' Last fresh; the
+			// folder poll keeps /spans O(new events) on the next request.
+			s.signals.Report()
+			s.folder.Poll()
 		}
 	}
 }
@@ -238,6 +261,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, `STATS runtime telemetry
   /metrics  Prometheus text exposition
   /healthz  windowed speculation health
+  /signals  rolling control signals (?stream=1 for SSE)
   /events   live event stream (SSE; ?once=1 for a single snapshot)
   /trace    Chrome trace_event JSON (chrome://tracing, ui.perfetto.dev)
   /spans    causal span trees of the speculation lifecycle
@@ -257,11 +281,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // handleHealthz serves the health verdict: HTTP 200 for ok and degraded
 // (degraded is a warning, not an outage), 503 for aborting.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	// The shared signals aggregator carries the breaker snapshot, so the
+	// verdict's Breaker field arrives through Judge.
 	rep := s.health.Eval()
-	if s.cfg.Breaker != nil {
-		snap := s.cfg.Breaker.Snapshot()
-		rep.Breaker = &snap
-	}
 	w.Header().Set("Content-Type", "application/json")
 	if rep.state() == HealthAborting {
 		w.WriteHeader(http.StatusServiceUnavailable)
@@ -269,6 +291,66 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(rep)
+}
+
+// handleSignals serves the rolling control signals. Without parameters it
+// returns one JSON SignalsReport; with ?stream=1 it becomes an SSE stream
+// sending a fresh report every poll interval — the feed an external
+// controller or dashboard tails instead of scraping /metrics.
+func (s *Server) handleSignals(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("stream") == "" {
+		rep := s.signals.Report()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+		return
+	}
+
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	s.sseClients.Add(1)
+	defer s.sseClients.Add(-1)
+
+	// Same per-write deadline discipline as /events: a stalled client is
+	// disconnected, never allowed to pin its handler goroutine.
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	tick := time.NewTicker(s.cfg.SSEInterval)
+	defer tick.Stop()
+	for {
+		rep := s.signals.Report()
+		_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.SSEWriteTimeout))
+		if _, err := fmt.Fprint(w, "data: "); err != nil {
+			s.sseDisconnects.Inc()
+			return
+		}
+		if err := enc.Encode(rep); err != nil {
+			s.sseDisconnects.Inc()
+			return
+		}
+		if _, err := fmt.Fprint(w, "\n"); err != nil {
+			s.sseDisconnects.Inc()
+			return
+		}
+		flusher.Flush()
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.done:
+			return
+		case <-tick.C:
+		}
+	}
 }
 
 // sseEvent is the wire form of one event on the /events stream.
@@ -395,9 +477,12 @@ func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
 	_ = trace.ChromeTrace(w, s.cfg.Observer.Tracer.Snapshot())
 }
 
-// handleSpans serves the reconstructed span trees as JSON.
+// handleSpans serves the reconstructed span trees as JSON. The server's
+// incremental SpanFolder backs the view: each request folds only the
+// events emitted since the last one, instead of re-deriving the whole
+// forest from a full ring snapshot.
 func (s *Server) handleSpans(w http.ResponseWriter, _ *http.Request) {
-	doc := BuildSpans(s.cfg.Observer.Tracer.Snapshot())
+	doc := s.folder.Doc()
 	doc.Emitted = s.cfg.Observer.Tracer.Emitted()
 	doc.Dropped = s.cfg.Observer.Tracer.Dropped()
 	w.Header().Set("Content-Type", "application/json")

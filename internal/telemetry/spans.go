@@ -22,7 +22,6 @@ package telemetry
 import (
 	"fmt"
 	"io"
-	"sort"
 	"strings"
 
 	"repro/internal/obs"
@@ -91,6 +90,12 @@ type Span struct {
 	// by the tracer's bounded rings: its timestamps cover only what was
 	// observed, nothing is fabricated.
 	Partial bool `json:"partial,omitempty"`
+	// CPUCommittedNS and CPUWastedNS carry a group root's wasted-work
+	// attribution — lane CPU nanoseconds whose results were committed vs
+	// discarded (EvLaneCPUCommitted/EvLaneCPUWasted) — zero on logs that
+	// predate attribution or groups that burned none.
+	CPUCommittedNS int64 `json:"cpu_committed_ns,omitempty"`
+	CPUWastedNS    int64 `json:"cpu_wasted_ns,omitempty"`
 	// Children are the span's sub-spans, in start order.
 	Children []*Span `json:"children,omitempty"`
 }
@@ -117,187 +122,18 @@ type SpanDoc struct {
 // BuildSpans folds a tracer snapshot into per-group span trees. The input
 // may be unordered; scheduler lane events are ignored (they belong to the
 // flat /events and /trace views). Equal inputs yield identical output.
+//
+// BuildSpans is the one-shot form of SpanFolder (folder.go): it folds the
+// whole snapshot as a single batch with generation splitting off, so a
+// group id keeps one accumulator for the whole log, exactly as the
+// original whole-snapshot fold did. Long-lived consumers (the telemetry
+// server's /spans) hold a SpanFolder instead and pay only for new events.
 func BuildSpans(events []obs.Event) *SpanDoc {
 	sorted := make([]obs.Event, len(events))
 	copy(sorted, events)
-	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].TS < sorted[j].TS })
-
-	doc := &SpanDoc{}
-	type groupAcc struct {
-		execStart, execEnd *obs.Event
-		aux                *obs.Event
-		valFirst, valEnd   *obs.Event // first validation-related event, terminal match/abort
-		redos              []obs.Event
-		mismatch           *obs.Event
-		squash, fallback   *obs.Event
-		matched, aborted   bool
-		firstTS, lastTS    int64
-		seen               bool
-	}
-	accs := map[int32]*groupAcc{}
-	acc := func(g int32, ts int64) *groupAcc {
-		a := accs[g]
-		if a == nil {
-			a = &groupAcc{firstTS: ts, lastTS: ts}
-			accs[g] = a
-		}
-		if !a.seen {
-			a.firstTS, a.lastTS, a.seen = ts, ts, true
-		}
-		if ts < a.firstTS {
-			a.firstTS = ts
-		}
-		if ts > a.lastTS {
-			a.lastTS = ts
-		}
-		return a
-	}
-
-	for i := range sorted {
-		e := &sorted[i]
-		switch e.Kind {
-		case obs.EvSteal, obs.EvLocalHit, obs.EvTaskFinish:
-			doc.SchedulerEvents++
-			continue
-		}
-		doc.Events++
-		a := acc(e.Group, e.TS)
-		switch e.Kind {
-		case obs.EvGroupStart:
-			a.execStart = e
-		case obs.EvGroupFinish:
-			a.execEnd = e
-		case obs.EvAuxProduced:
-			a.aux = e
-		case obs.EvValidateMismatch:
-			a.mismatch = e
-			if a.valFirst == nil {
-				a.valFirst = e
-			}
-		case obs.EvRedo:
-			a.redos = append(a.redos, *e)
-			if a.valFirst == nil {
-				a.valFirst = e
-			}
-		case obs.EvValidateMatch:
-			a.matched = true
-			if a.valFirst == nil {
-				a.valFirst = e
-			}
-			a.valEnd = e
-		case obs.EvAbort:
-			a.aborted = true
-			if a.valFirst == nil {
-				a.valFirst = e
-			}
-			a.valEnd = e
-		case obs.EvSquash:
-			a.squash = e
-		case obs.EvFallback:
-			a.fallback = e
-		}
-	}
-
-	ids := make([]int32, 0, len(accs))
-	for g := range accs {
-		ids = append(ids, g)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-
-	for _, g := range ids {
-		a := accs[g]
-		root := &Span{Kind: SpanGroup, Group: g, StartNS: a.firstTS, EndNS: a.lastTS}
-		instant := func(kind string, e *obs.Event) *Span {
-			return &Span{Kind: kind, Group: g, StartNS: e.TS, EndNS: e.TS, Arg: e.Arg}
-		}
-		if a.aux != nil {
-			root.Children = append(root.Children, instant(SpanAux, a.aux))
-		}
-		switch {
-		case a.execStart != nil && a.execEnd != nil:
-			root.Children = append(root.Children, &Span{
-				Kind: SpanExec, Group: g,
-				StartNS: a.execStart.TS, EndNS: a.execEnd.TS,
-				DurNS: a.execEnd.TS - a.execStart.TS,
-				Arg:   a.execEnd.Arg,
-			})
-		case a.execStart != nil:
-			// Finish evicted or still running: the span covers only
-			// the observed start.
-			sp := instant(SpanExec, a.execStart)
-			sp.Partial = true
-			root.Children = append(root.Children, sp)
-			root.Partial = true
-		case a.execEnd != nil:
-			// Start evicted by ring wrap-around.
-			sp := instant(SpanExec, a.execEnd)
-			sp.Partial = true
-			root.Children = append(root.Children, sp)
-			root.Partial = true
-		default:
-			// No execution records at all: only marks survive.
-			root.Partial = true
-		}
-		if a.valFirst != nil {
-			v := &Span{
-				Kind: SpanValidate, Group: g,
-				StartNS: a.valFirst.TS,
-				Redos:   len(a.redos),
-			}
-			switch {
-			case a.matched && len(a.redos) > 0:
-				v.Outcome = "match-after-redo"
-			case a.matched:
-				v.Outcome = "match"
-			case a.aborted:
-				v.Outcome = "abort"
-			default:
-				v.Outcome = "unresolved"
-				v.Partial = true
-				root.Partial = true
-			}
-			if a.valEnd != nil {
-				v.EndNS = a.valEnd.TS
-				v.Arg = a.valEnd.Arg
-			} else {
-				last := a.valFirst.TS
-				if n := len(a.redos); n > 0 && a.redos[n-1].TS > last {
-					last = a.redos[n-1].TS
-				}
-				v.EndNS = last
-			}
-			v.DurNS = v.EndNS - v.StartNS
-			for i := range a.redos {
-				v.Children = append(v.Children, instant(SpanRedo, &a.redos[i]))
-			}
-			root.Children = append(root.Children, v)
-		}
-		if a.squash != nil {
-			root.Children = append(root.Children, instant(SpanSquash, a.squash))
-		}
-		if a.fallback != nil {
-			root.Children = append(root.Children, instant(SpanFallback, a.fallback))
-		}
-		switch {
-		case a.aborted:
-			root.Outcome = OutcomeAborted
-		case a.squash != nil:
-			root.Outcome = OutcomeSquashed
-		case a.matched:
-			root.Outcome = OutcomeValidated
-		default:
-			root.Outcome = OutcomeUnvalidated
-		}
-		root.DurNS = root.EndNS - root.StartNS
-		sort.SliceStable(root.Children, func(i, j int) bool {
-			return root.Children[i].StartNS < root.Children[j].StartNS
-		})
-		if root.Partial {
-			doc.PartialGroups++
-		}
-		doc.Groups = append(doc.Groups, root)
-	}
-	return doc
+	f := &SpanFolder{live: map[int32]*spanAcc{}, docDirty: true}
+	f.foldBatchLocked(sorted)
+	return f.Doc()
 }
 
 // RenderSpans writes the span forest as an indented text tree — the view
@@ -319,8 +155,13 @@ func renderSpan(w io.Writer, s *Span, depth int) {
 	indent := strings.Repeat("  ", depth)
 	switch s.Kind {
 	case SpanGroup:
-		fmt.Fprintf(w, "%sg%03d [t+%s %s] %s%s\n", indent, s.Group,
-			fmtNS(s.StartNS), fmtNS(s.DurNS), s.Outcome, partialMark(s))
+		cpu := ""
+		if s.CPUCommittedNS > 0 || s.CPUWastedNS > 0 {
+			cpu = fmt.Sprintf(" cpu committed=%s wasted=%s",
+				fmtNS(s.CPUCommittedNS), fmtNS(s.CPUWastedNS))
+		}
+		fmt.Fprintf(w, "%sg%03d [t+%s %s] %s%s%s\n", indent, s.Group,
+			fmtNS(s.StartNS), fmtNS(s.DurNS), s.Outcome, cpu, partialMark(s))
 	case SpanExec:
 		fmt.Fprintf(w, "%sexec     %s outputs=%d%s\n", indent, fmtNS(s.DurNS), s.Arg, partialMark(s))
 	case SpanAux:

@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// waterfallBarWidth is the bar chart's width in character cells.
+const waterfallBarWidth = 40
+
+// RenderWaterfall writes a span document as a waterfall: one bar per
+// speculation group on a shared time axis, each overlaid with its phases
+// ('=' executing, 'a' aux, 'v' validating, 'r' redo, 'S' squash,
+// 'F' fallback), followed by the group's phase chain in start order and
+// its wasted-work share. The footer names the run's critical path — the
+// longest group lifecycle — phase by phase: the chain an engineer
+// shortens first when the profile says speculation is not paying.
+// Deterministic for a given document.
+func RenderWaterfall(w io.Writer, doc *SpanDoc) {
+	if len(doc.Groups) == 0 {
+		fmt.Fprintln(w, "waterfall: no groups")
+		return
+	}
+
+	lo, hi := doc.Groups[0].StartNS, doc.Groups[0].EndNS
+	var committed, wasted int64
+	for _, g := range doc.Groups {
+		if g.StartNS < lo {
+			lo = g.StartNS
+		}
+		if g.EndNS > hi {
+			hi = g.EndNS
+		}
+		committed += g.CPUCommittedNS
+		wasted += g.CPUWastedNS
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	col := func(ts int64) int {
+		c := int((ts - lo) * int64(waterfallBarWidth) / span)
+		if c >= waterfallBarWidth {
+			c = waterfallBarWidth - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+
+	fmt.Fprintf(w, "waterfall: %d groups (%d partial), span %s",
+		len(doc.Groups), doc.PartialGroups, fmtNS(span))
+	if committed+wasted > 0 {
+		fmt.Fprintf(w, ", lane cpu committed=%s wasted=%s (waste %.0f%%)",
+			fmtNS(committed), fmtNS(wasted),
+			100*float64(wasted)/float64(committed+wasted))
+	}
+	fmt.Fprintln(w)
+
+	var critical *Span
+	for _, g := range doc.Groups {
+		if critical == nil || g.DurNS > critical.DurNS {
+			critical = g
+		}
+		row := make([]byte, waterfallBarWidth)
+		for i := range row {
+			row[i] = '.'
+		}
+		// Duration-bearing phases first, instants on top so they stay
+		// visible inside a long bar.
+		for _, c := range g.Children {
+			switch c.Kind {
+			case SpanExec:
+				for i := col(c.StartNS); i <= col(c.EndNS); i++ {
+					row[i] = '='
+				}
+			case SpanValidate:
+				for i := col(c.StartNS); i <= col(c.EndNS); i++ {
+					row[i] = 'v'
+				}
+			}
+		}
+		for _, c := range g.Children {
+			switch c.Kind {
+			case SpanAux:
+				row[col(c.StartNS)] = 'a'
+			case SpanValidate:
+				for _, r := range c.Children {
+					if r.Kind == SpanRedo {
+						row[col(r.StartNS)] = 'r'
+					}
+				}
+			case SpanSquash:
+				row[col(c.StartNS)] = 'S'
+			case SpanFallback:
+				row[col(c.StartNS)] = 'F'
+			}
+		}
+		waste := ""
+		if g.CPUCommittedNS+g.CPUWastedNS > 0 {
+			waste = fmt.Sprintf(" waste=%.0f%%",
+				100*float64(g.CPUWastedNS)/float64(g.CPUCommittedNS+g.CPUWastedNS))
+		}
+		fmt.Fprintf(w, "g%03d |%s| %s %s%s%s\n", g.Group, row,
+			fmtNS(g.DurNS), g.Outcome, waste, partialMark(g))
+		fmt.Fprintf(w, "     %s\n", chainString(g))
+	}
+
+	fmt.Fprintf(w, "critical path: g%03d %s (total %s)\n",
+		critical.Group, chainString(critical), fmtNS(critical.DurNS))
+}
+
+// chainString renders a group's phase chain in start order.
+func chainString(g *Span) string {
+	var parts []string
+	for _, c := range g.Children {
+		switch c.Kind {
+		case SpanAux:
+			parts = append(parts, fmt.Sprintf("aux@t+%s", fmtNS(c.StartNS)))
+		case SpanExec:
+			parts = append(parts, fmt.Sprintf("exec %s", fmtNS(c.DurNS)))
+		case SpanValidate:
+			p := fmt.Sprintf("validate %s %s", fmtNS(c.DurNS), c.Outcome)
+			if c.Redos > 0 {
+				p += fmt.Sprintf(" redos=%d", c.Redos)
+			}
+			parts = append(parts, p)
+		case SpanSquash:
+			parts = append(parts, fmt.Sprintf("squash inputs=%d", c.Arg))
+		case SpanFallback:
+			parts = append(parts, fmt.Sprintf("fallback inputs=%d", c.Arg))
+		}
+	}
+	if len(parts) == 0 {
+		return "(no observed phases)"
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// WaterfallString renders doc's waterfall to a string.
+func WaterfallString(doc *SpanDoc) string {
+	var b strings.Builder
+	RenderWaterfall(&b, doc)
+	return b.String()
+}

@@ -73,6 +73,9 @@ func ChromeTrace(w io.Writer, events []obs.Event) error {
 		case obs.EvSteal, obs.EvLocalHit:
 			lanesSeen[e.Lane] = true
 			laneOpen[e.Lane] = openSpan{ts: e.TS, stolen: e.Kind == obs.EvSteal}
+		case obs.EvLaneCPUCommitted, obs.EvLaneCPUWasted:
+			// Run-end attribution summaries; their timestamps would draw
+			// misleading instants far from the work they account for.
 		case obs.EvTaskFinish:
 			lanesSeen[e.Lane] = true
 			sp, ok := laneOpen[e.Lane]

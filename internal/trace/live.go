@@ -117,6 +117,10 @@ func RenderEvents(w io.Writer, events []obs.Event, o EventOptions) {
 			gl.marks = append(gl.marks, e)
 		case obs.EvSteal, obs.EvLocalHit, obs.EvTaskFinish:
 			lanes[e.Lane] = append(lanes[e.Lane], e)
+		case obs.EvLaneCPUCommitted, obs.EvLaneCPUWasted:
+			// Attribution summaries, emitted at run end; they carry no
+			// schedule position worth a Gantt mark (the telemetry layer's
+			// span and waterfall views render them instead).
 		}
 	}
 

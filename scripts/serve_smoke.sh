@@ -47,6 +47,7 @@ check() {
 check /                     200
 check /metrics              200
 check /healthz              200,503  # 503 is the aborting verdict, still a served answer
+check /signals              200
 check '/events?once=1'      200
 check /trace                200
 check /spans                200
@@ -62,6 +63,32 @@ for series in stats_groups_started_total trace_events_emitted_total telemetry_sc
         fail=1
     fi
 done
+
+# /signals must be a rolling report with the control rates and the
+# wasted-work attribution, and the gauges must reach /metrics.
+signals=$(curl -s "$BASE/signals")
+for field in '"abort_rate"' '"wasted_work_ratio"' '"validation_p99_ns"'; do
+    if printf '%s\n' "$signals" | grep -q "$field"; then
+        echo "ok   /signals has $field"
+    else
+        echo "FAIL /signals missing $field"
+        fail=1
+    fi
+done
+if printf '%s\n' "$metrics" | grep -q '^signals_abort_rate_ppm '; then
+    echo "ok   /metrics has signals_abort_rate_ppm"
+else
+    echo "FAIL /metrics missing signals_abort_rate_ppm"
+    fail=1
+fi
+
+# One SSE frame from the signals stream.
+if curl -s --max-time 3 "$BASE/signals?stream=1" | head -1 | grep -q '^data: '; then
+    echo "ok   /signals?stream=1 streams frames"
+else
+    echo "FAIL /signals?stream=1 produced no SSE frame"
+    fail=1
+fi
 
 # /spans must be a span document with at least one group.
 if curl -s "$BASE/spans" | grep -q '"groups"'; then

@@ -24,6 +24,7 @@ type Runtime struct {
 	allowUnverified bool
 	programs        []*Program
 	telemetry       *telemetry.Server
+	signals         *telemetry.Signals
 }
 
 // TraceEvent is one record of the runtime's speculation event log (see
@@ -46,7 +47,9 @@ func NewRuntime(workers int) *Runtime {
 	o := obs.NewObserver(workers+1, 0)
 	p := pool.New(workers)
 	p.SetObserver(o)
-	return &Runtime{pool: p, obs: o}
+	sig := telemetry.NewSignals(o, telemetry.SignalsConfig{})
+	sig.Report() // baseline sample: the first report covers activity since here
+	return &Runtime{pool: p, obs: o, signals: sig}
 }
 
 // Workers returns the pool width.
@@ -105,10 +108,27 @@ func (rt *Runtime) Scheduler() SchedulerMetrics {
 	}
 }
 
+// SignalsReport is one windowed view of the runtime's speculation
+// control signals: abort/mismatch/redo rates, fallback and failure
+// rates, steal fraction, commits per round, the wasted-work ratio and
+// windowed validation-latency quantiles. See
+// repro/internal/telemetry.SignalsReport for field semantics.
+type SignalsReport = telemetry.SignalsReport
+
+// Signals returns a rolling control-signals report over the runtime's
+// recent activity. The aggregator's baseline is the runtime's creation,
+// and each call advances the same sliding window, so rates reflect what
+// happened since older samples aged out — not lifetime totals. Safe to
+// call while runs are in flight.
+func (rt *Runtime) Signals() SignalsReport {
+	return rt.signals.Report()
+}
+
 // Telemetry is the runtime's HTTP telemetry server: /metrics (Prometheus
-// text), /healthz (windowed speculation health), /events (live SSE
-// stream), /trace (Chrome trace_event JSON) and /spans (causal span
-// trees). See repro/internal/telemetry.
+// text), /healthz (windowed speculation health), /signals (rolling
+// control signals, SSE-streamable), /events (live SSE stream), /trace
+// (Chrome trace_event JSON) and /spans (causal span trees). See
+// repro/internal/telemetry.
 type Telemetry = telemetry.Server
 
 // TelemetryConfig configures Serve/ServeHandler beyond the defaults
