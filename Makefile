@@ -39,19 +39,24 @@ bench-pool:
 
 # Hot-path benchmark snapshot: the telemetry scrape-under-load and Emit
 # microbenchmarks, the always-on profiler's warm paths (incremental span
-# folding, windowed signals report), and the engine's speculative run
-# with the controlled scheduler off (nil fast path) and on, plus the
-# deterministic-reservations protocol, written to BENCH_pr9.json (the
-# checked-in regression reference continuing BENCH_pr7.json). The run
-# also enforces the allocs/op ceilings in BENCH_budget.json.
+# folding, windowed signals report), the engine's speculative run with
+# the controlled scheduler off (nil fast path) and on, the
+# deterministic-reservations protocol, and the engine's recycled hot
+# path (warm vs cold run, grouping, hash-first acceptance), written to
+# $(BENCH) (the checked-in regression reference continuing
+# BENCH_pr9.json). The run also enforces the allocs/op ceilings in
+# BENCH_budget.json.
+BENCH ?= BENCH_pr10.json
+
 bench:
-	$(GO) run ./cmd/statsbench -out BENCH_pr9.json -budget BENCH_budget.json
+	$(GO) run ./cmd/statsbench -out $(BENCH) -budget BENCH_budget.json
 
 # Quick allocation-budget gate for `make check`: re-measure the profiler's
-# warm paths with a small -benchtime and fail on any allocs/op ceiling
-# violation, without rewriting the checked-in snapshot.
+# warm paths and the engine's recycled hot path with a small -benchtime
+# and fail on any allocs/op ceiling violation, without rewriting the
+# checked-in snapshot.
 bench-gate:
-	$(GO) run ./cmd/statsbench -benchtime 100x -pkgs telemetry -budget BENCH_budget.json -out ""
+	$(GO) run ./cmd/statsbench -benchtime 100x -pkgs telemetry,core -budget BENCH_budget.json -out ""
 
 # Full evaluation benchmarks (paper tables/figures). STATS_QUICK=1 scales
 # budgets down for smoke runs.

@@ -1,12 +1,14 @@
 // Command statsbench runs the repository's hot-path microbenchmarks
 // through `go test -bench` and writes the parsed results as a JSON
-// document — the checked-in BENCH_pr9.json snapshot (continuing
-// BENCH_pr7.json) that records the telemetry scrape/Emit costs, the
+// document — the checked-in BENCH_pr10.json snapshot (continuing
+// BENCH_pr9.json) that records the telemetry scrape/Emit costs, the
 // always-on profiler's warm paths (incremental span folding and the
 // windowed signals report), the engine's speculative path with the
-// controlled scheduler disabled and enabled, and the
+// controlled scheduler disabled and enabled, the
 // deterministic-reservations protocol in its whole-state and slotted
-// shapes.
+// shapes, and the engine's recycled hot path: warm vs cold run
+// allocations, grouping-dominant runs, and the hash-first acceptance
+// probe (hit and miss).
 //
 // With -budget it also acts as the regression gate: the budget file
 // maps benchmark names (GOMAXPROCS -N suffix stripped) to allocs/op
@@ -14,11 +16,11 @@
 //
 // Usage:
 //
-//	statsbench                     # write BENCH_pr9.json in the cwd
+//	statsbench                     # write BENCH_pr10.json in the cwd
 //	statsbench -out results.json   # elsewhere
 //	statsbench -out ""             # measure without writing a snapshot
 //	statsbench -benchtime 100x     # quicker smoke run
-//	statsbench -pkgs telemetry     # only suites whose package matches
+//	statsbench -pkgs telemetry,core  # only suites matching a comma-separated term
 //	statsbench -budget BENCH_budget.json   # enforce allocs/op ceilings
 package main
 
@@ -69,14 +71,14 @@ type BenchDoc struct {
 var suites = []struct{ pkg, pattern string }{
 	{"./internal/telemetry", "BenchmarkMetricsScrapeUnderLoad|BenchmarkEmitWithSSEClient|BenchmarkEmitDisabledObserver|BenchmarkBuildSpans|BenchmarkSpanFolderWarm|BenchmarkSignalsReport"},
 	{"./internal/obs", "BenchmarkEmitDisabled$|BenchmarkEmitEnabled|BenchmarkObserverDisabledGroupPath"},
-	{"./internal/core", "BenchmarkEngineSpeculative$|BenchmarkEngineControlledSched$|BenchmarkEngineReservations$"},
+	{"./internal/core", "BenchmarkEngineSpeculative$|BenchmarkEngineControlledSched$|BenchmarkEngineReservations$|BenchmarkEngineWarmRun|BenchmarkEngineColdRun$|BenchmarkEngineGrouping$|BenchmarkMatchAnyFingerprint"},
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr9.json", "output JSON path (empty: don't write)")
+	out := flag.String("out", "BENCH_pr10.json", "output JSON path (empty: don't write)")
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
 	budgetPath := flag.String("budget", "", "allocs/op budget JSON; violations fail the run")
-	pkgs := flag.String("pkgs", "", "only run suites whose package path contains this substring")
+	pkgs := flag.String("pkgs", "", "only run suites whose package path contains one of these comma-separated substrings")
 	flag.Parse()
 
 	doc := BenchDoc{
@@ -85,7 +87,7 @@ func main() {
 		Benchtime: *benchtime,
 	}
 	for _, s := range suites {
-		if *pkgs != "" && !strings.Contains(s.pkg, *pkgs) {
+		if !pkgSelected(s.pkg, *pkgs) {
 			continue
 		}
 		lines, err := runBench(s.pkg, s.pattern, *benchtime)
@@ -124,6 +126,22 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// pkgSelected reports whether the suite package passes the -pkgs filter:
+// empty selects everything, otherwise the path must contain one of the
+// comma-separated substrings (blank terms are ignored).
+func pkgSelected(pkg, filter string) bool {
+	if filter == "" {
+		return true
+	}
+	for _, term := range strings.Split(filter, ",") {
+		term = strings.TrimSpace(term)
+		if term != "" && strings.Contains(pkg, term) {
+			return true
+		}
+	}
+	return false
 }
 
 // enforceBudget fails when any measured benchmark exceeds its allocs/op

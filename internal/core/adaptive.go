@@ -105,6 +105,8 @@ func (d *Dependence[I, S, O]) RunAdaptive(inputs []I, initial S, opts AdaptiveOp
 func accumulate(agg *Stats, st Stats) {
 	agg.Groups += st.Groups
 	agg.Matches += st.Matches
+	agg.FingerprintHits += st.FingerprintHits
+	agg.FingerprintMisses += st.FingerprintMisses
 	agg.Redos += st.Redos
 	agg.Aborts += st.Aborts
 	agg.SpeculativeCommits += st.SpeculativeCommits
@@ -115,6 +117,7 @@ func accumulate(agg *Stats, st Stats) {
 	agg.AuxCalls += st.AuxCalls
 	agg.AuxInputs += st.AuxInputs
 	agg.PanickedGroups += st.PanickedGroups
+	agg.Panics = append(agg.Panics, st.Panics...)
 	agg.TimedOutGroups += st.TimedOutGroups
 	agg.BreakerDenied += st.BreakerDenied
 	agg.Steals += st.Steals

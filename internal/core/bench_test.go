@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"testing"
 
 	"repro/internal/pool"
@@ -200,4 +201,135 @@ func BenchmarkRNGNorm(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = r.Norm()
 	}
+}
+
+// fingerprintWalkOps is walkOps plus the hash-first prefilter: the walk
+// benchmarks' compute is noise-free, so an accepted speculative state is
+// bit-equal to an original and the value's bits are a contract-clean
+// digest.
+func fingerprintWalkOps() StateOps[walkState] {
+	ops := walkOps()
+	ops.Fingerprint = func(s walkState) uint64 { return math.Float64bits(s.V) }
+	return ops
+}
+
+// BenchmarkEngineWarmRun is the allocation-gate shape: a reused
+// Dependence on a shared pool — the warm path where every run-scoped
+// buffer (group records, lane sources, originals, output staging) comes
+// from the dependence's recycled scratch. Compare BenchmarkEngineColdRun
+// (fresh Dependence per run, same work): warm must hold a small fraction
+// of cold allocs/op (TestWarmRunAllocations enforces ≤20%).
+func BenchmarkEngineWarmRun(b *testing.B) {
+	inputs := benchInputs(32)
+	base := Options{UseAux: true, GroupSize: 8, Window: 8, RedoMax: 1, Rollback: 4}
+	b.Run("aux", func(b *testing.B) {
+		p := pool.New(4)
+		defer p.Close()
+		d := New(cheapCompute, sumAux, fingerprintWalkOps())
+		opts := base
+		opts.Pool = p
+		d.Run(inputs, walkState{}, opts) // prime the recycled scratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o := opts
+			o.Seed = uint64(i)
+			d.Run(inputs, walkState{}, o)
+		}
+	})
+	b.Run("reservations", func(b *testing.B) {
+		p := pool.New(4)
+		defer p.Close()
+		d := New(benchSlotCompute, nil, benchSlotOps()).WithReserve(ReserveOps[int, []float64]{
+			NumSlots:  func(s []float64) int { return len(s) },
+			Footprint: func(in int, _ []float64) []int { return []int{in % 8} },
+			Merge: func(dst, src []float64, slots []int) []float64 {
+				for _, sl := range slots {
+					dst[sl] = src[sl]
+				}
+				return dst
+			},
+		})
+		opts := base
+		opts.Protocol = ProtocolReservations
+		opts.Pool = p
+		d.Run(inputs, make([]float64, 8), opts)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o := opts
+			o.Seed = uint64(i)
+			d.Run(inputs, make([]float64, 8), o)
+		}
+	})
+}
+
+// BenchmarkEngineColdRun is BenchmarkEngineWarmRun/aux with a fresh
+// Dependence every iteration: the seed path a one-shot caller pays, and
+// the denominator of the warm-path allocation gate.
+func BenchmarkEngineColdRun(b *testing.B) {
+	inputs := benchInputs(32)
+	p := pool.New(4)
+	defer p.Close()
+	opts := Options{UseAux: true, GroupSize: 8, Window: 8, RedoMax: 1, Rollback: 4, Pool: p}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := New(cheapCompute, sumAux, fingerprintWalkOps())
+		o := opts
+		o.Seed = uint64(i)
+		d.Run(inputs, walkState{}, o)
+	}
+}
+
+// BenchmarkEngineGrouping drives the grouping-dominant shape: 1024 inputs
+// in 128 groups of 8 around a near-free compute, warm. Input groups are
+// (start, end) index pairs into the caller's slice — never copied — so
+// allocs/op here prices pure per-group machinery (recycled group records,
+// latches and lane sources), not data movement.
+func BenchmarkEngineGrouping(b *testing.B) {
+	inputs := benchInputs(1024)
+	p := pool.New(4)
+	defer p.Close()
+	d := New(cheapCompute, sumAux, fingerprintWalkOps())
+	opts := Options{UseAux: true, GroupSize: 8, Window: 8, RedoMax: 1, Rollback: 4, Pool: p}
+	d.Run(inputs, walkState{}, opts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := opts
+		o.Seed = uint64(i)
+		d.Run(inputs, walkState{}, o)
+	}
+}
+
+// BenchmarkMatchAnyFingerprint prices one acceptance attempt on the
+// hash-first path: a fingerprint hit falls through to the deep MatchAny
+// scan, a miss rejects on the prefilter probe alone. Both must be
+// allocation-free — they run inside every boundary validation.
+func BenchmarkMatchAnyFingerprint(b *testing.B) {
+	d := New(cheapCompute, nil, fingerprintWalkOps())
+	originals := make([]walkState, 8)
+	origFPs := make([]uint64, 8)
+	for i := range originals {
+		originals[i] = walkState{V: float64(i)}
+		origFPs[i] = math.Float64bits(originals[i].V)
+	}
+	var st Stats
+	b.Run("hit", func(b *testing.B) {
+		spec := walkState{V: 7}
+		fp := math.Float64bits(spec.V)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d.acceptAttempt(spec, fp, true, originals, origFPs, &st, nil)
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		spec := walkState{V: 99.5}
+		fp := math.Float64bits(spec.V)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d.acceptAttempt(spec, fp, true, originals, origFPs, &st, nil)
+		}
+	})
 }

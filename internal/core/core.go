@@ -49,9 +49,24 @@ type Aux[I, S any] func(r *rng.Source, init S, recent []I) S
 // (Figure 9): Clone corresponds to operator= (state privatization), and
 // MatchAny to doesSpecStateMatchAny (speculative-state acceptance against a
 // set of original states).
+//
+// MatchAny must not retain the originals slice: the engine recycles its
+// backing storage across boundaries and runs.
+//
+// Fingerprint, when non-nil alongside MatchAny, is a cheap acceptance
+// prefilter: the engine hashes the speculative state and every original
+// once and calls MatchAny only when some original's fingerprint equals the
+// speculative state's. The contract is one-sided: Fingerprint(a) ==
+// Fingerprint(b) must hold whenever MatchAny would accept a against {b} —
+// hash only what acceptance can never distinguish (structure, counts,
+// quantized values outside the tolerance). Collisions fall through to the
+// deep compare, so a wrong fingerprint costs redos and aborts (time),
+// never correctness. Ignored when MatchAny is nil (acceptance by
+// construction needs no prefilter).
 type StateOps[S any] struct {
-	Clone    func(S) S
-	MatchAny func(spec S, originals []S) bool
+	Clone       func(S) S
+	MatchAny    func(spec S, originals []S) bool
+	Fingerprint func(S) uint64
 }
 
 // Options configures one run of the engine. All values correspond to state
@@ -142,6 +157,13 @@ type Stats struct {
 	Groups  int // groups formed (1 means sequential)
 	Matches int // speculative states accepted
 	Redos   int // original-producer re-executions performed
+	// FingerprintHits and FingerprintMisses count hash-first acceptance
+	// attempts (boundary validations and redo re-checks) whose
+	// fingerprint prefilter passed through to MatchAny vs rejected
+	// without a deep compare. Both stay 0 unless the dependence defines
+	// both Fingerprint and MatchAny.
+	FingerprintHits   int
+	FingerprintMisses int
 	// Aborts counts boundary resolutions that aborted speculation:
 	// exhausted redo budgets, contained panics and group deadlines (the
 	// latter two also counted in PanickedGroups/TimedOutGroups).
@@ -171,6 +193,12 @@ type Stats struct {
 	// boundary's match/redo). The panic is contained: the group's
 	// inputs are reprocessed sequentially and the process survives.
 	PanickedGroups int
+	// Panics carries each contained speculative-path panic with the same
+	// value+stack fidelity *PanicError gives the sequential path: the
+	// original panic value and the stack captured during the unwind.
+	// Under ProtocolAux entries are in group order; under
+	// ProtocolReservations in the order the coordinator observed them.
+	Panics []*PanicError
 	// TimedOutGroups counts speculative groups squashed because their
 	// lane exceeded Options.GroupTimeout.
 	TimedOutGroups int
@@ -224,6 +252,14 @@ type Dependence[I, S, O any] struct {
 	// deterministic-reservations protocol (WithReserve); nil falls back
 	// to a whole-state single slot.
 	reserve *ReserveOps[I, S]
+
+	// scratch and resvScratch recycle the per-run working sets of
+	// runSpeculative and runReservations through sync.Pool, so a warm
+	// Run on a reused Dependence allocates (almost) nothing. Both make
+	// the Dependence non-copyable once used; the engine only ever hands
+	// out pointers.
+	scratch     sync.Pool
+	resvScratch sync.Pool
 }
 
 // New returns a Dependence. compute and ops.Clone must be non-nil; aux and
@@ -241,13 +277,10 @@ func New[I, S, O any](compute Compute[I, S, O], aux Aux[I, S], ops StateOps[S]) 
 	return &Dependence[I, S, O]{compute: compute, aux: aux, ops: ops}
 }
 
-// matchAny applies the developer's acceptance method; a nil MatchAny accepts
-// by construction.
-func (d *Dependence[I, S, O]) matchAny(spec S, originals []S) bool {
-	if d.ops.MatchAny == nil {
-		return true
-	}
-	return d.ops.MatchAny(spec, originals)
+// hashFirst reports whether the dependence validates hash-first: both a
+// deep acceptance method and a fingerprint prefilter are defined.
+func (d *Dependence[I, S, O]) hashFirst() bool {
+	return d.ops.MatchAny != nil && d.ops.Fingerprint != nil
 }
 
 // Run processes inputs starting from initial, returning the outputs in input
@@ -364,9 +397,14 @@ func (d *Dependence[I, S, O]) runAll(inputs []I, initial S, opts Options, emit E
 // computed; base is the global index of the first input.
 func (d *Dependence[I, S, O]) runSequential(r *rng.Source, inputs []I, s S, st *Stats, emit Emit[O], base int) ([]O, S) {
 	outs := make([]O, 0, len(inputs))
+	// One reused child source for the whole walk: SplitInto draws the
+	// same stream per invocation as the old per-call Split without an
+	// allocation per input.
+	var src rng.Source
 	for i, in := range inputs {
 		var o O
-		o, s = d.compute(r.Split(), in, s)
+		r.SplitInto(&src)
+		o, s = d.compute(&src, in, s)
 		st.Invocations++
 		st.UsefulInvocations++
 		outs = append(outs, o)
@@ -395,6 +433,10 @@ const (
 )
 
 // groupRun holds the state of one input group during a speculative run.
+// Records are owned by a runScratch and recycled run after run: every
+// scalar field is reset by begin, the random sources are re-split into
+// place, and the output buffers keep their capacity with their elements
+// cleared between runs (no stale user values parked in the pool).
 type groupRun[I, S, O any] struct {
 	idx        int // group index, used as the trace lane hint
 	start, end int // input index range [start, end)
@@ -407,30 +449,176 @@ type groupRun[I, S, O any] struct {
 	checkpoint   S
 	checkpointAt int
 
-	// redoSrc yields fresh randomness for re-executions.
-	redoSrc *rng.Source
+	// specSrc feeds the group's auxiliary code, execSrc its execution,
+	// and redoSrc its re-executions; callSrc and redoCallSrc are the
+	// per-invocation children execSrc/redoSrc split into (value storage,
+	// so a warm run derives every stream without allocating).
+	specSrc     rng.Source
+	execSrc     rng.Source
+	redoSrc     rng.Source
+	callSrc     rng.Source
+	redoCallSrc rng.Source
 
 	// ctl and lane are the run's controlled scheduler and this group's
 	// lane in it (nil/0 when the run is uncontrolled).
 	ctl  sched.Controller
 	lane int
 
-	done    chan struct{}
+	// done is a one-shot latch per run (Add(1) before launch, Done on
+	// lane exit, Wait on the coordinator); a WaitGroup rather than a
+	// channel so it can be rearmed when the record is recycled.
+	done    sync.WaitGroup
 	aborted atomic.Bool // set to squash this group's in-flight work
 
 	// failure is why the group's results are unusable, with failArg the
-	// matching event argument (elapsed ns for timeouts). Written by the
-	// lane before close(done), or by the coordinator before launch (aux
-	// panic) / after <-done (match/redo panic), so every read — the
-	// boundary inspection and the post-wg.Wait sweep — is ordered after
-	// the write.
-	failure groupFailure
-	failArg int64
+	// matching event argument (elapsed ns for timeouts) and panicErr the
+	// contained panic's value+stack when failure is failPanic. Written
+	// by the lane before done.Done(), or by the coordinator before
+	// launch (aux panic) / after done.Wait() (match/redo panic), so
+	// every read — the boundary inspection and the post-wg.Wait sweep —
+	// is ordered after the write.
+	failure  groupFailure
+	failArg  int64
+	panicErr *PanicError
 
 	// execNS is the group execution's wall-clock lane time, written by
-	// the lane before close(done) and read by the coordinator after
-	// <-done for wasted-work attribution.
+	// the lane before done.Done() and read by the coordinator after
+	// done.Wait() for wasted-work attribution.
 	execNS int64
+
+	// outBuf, redoBuf and spliceBuf back the group's execution outputs,
+	// its re-execution outputs, and the spliced committed outputs.
+	outBuf    []O
+	redoBuf   []O
+	spliceBuf []O
+}
+
+// runScratch is the recycled working set of one runSpeculative call:
+// group records, the per-group timing/committed arrays, the originals
+// set (plus its fingerprints), and the pool tasks with their closures.
+// A Dependence keeps scratches in a sync.Pool, so a warm Run allocates
+// only what it must return (the outputs slice) plus whatever user code
+// allocates. Task closures are created once per group slot and index
+// into the scratch, which is why they survive recycling: each run
+// rebinds the fields the closures read.
+type runScratch[I, S, O any] struct {
+	d      *Dependence[I, S, O]
+	inputs []I
+	o      *obs.Observer
+	ctl    sched.Controller
+
+	rollback  int
+	timeout   time.Duration
+	numGroups int
+
+	groups []*groupRun[I, S, O]
+	tasks  []pool.Task
+
+	auxNS    []int64
+	commitNS []int64
+	wasteNS  []int64
+
+	committed []execution[S, O]
+	originals []S
+	origFPs   []uint64
+
+	wg          sync.WaitGroup
+	invocations atomic.Int64
+}
+
+// getScratch fetches (or builds) a scratch for one speculative run.
+func (d *Dependence[I, S, O]) getScratch() *runScratch[I, S, O] {
+	if v := d.scratch.Get(); v != nil {
+		return v.(*runScratch[I, S, O])
+	}
+	return &runScratch[I, S, O]{d: d}
+}
+
+// begin sizes the scratch for numGroups groups and resets every record.
+// It does not arm the done latches — that happens at launch, so a panic
+// on the coordinator between begin and launch (an uncontained group-0
+// clone) cannot leave a latch armed for the next run.
+func (scr *runScratch[I, S, O]) begin(inputs []I, numGroups int, opts *Options, o *obs.Observer) {
+	scr.inputs = inputs
+	scr.o = o
+	scr.ctl = opts.Sched
+	scr.rollback = opts.Rollback
+	scr.timeout = opts.GroupTimeout
+	scr.numGroups = numGroups
+	scr.invocations.Store(0)
+	for len(scr.groups) < numGroups {
+		j := len(scr.groups)
+		scr.groups = append(scr.groups, &groupRun[I, S, O]{})
+		scr.tasks = append(scr.tasks, func() { scr.groupTask(j) })
+	}
+	scr.auxNS = cleared(scr.auxNS, numGroups)
+	scr.commitNS = cleared(scr.commitNS, numGroups)
+	scr.wasteNS = cleared(scr.wasteNS, numGroups)
+	scr.committed = cleared(scr.committed, numGroups)
+	scr.originals = scr.originals[:0]
+	scr.origFPs = scr.origFPs[:0]
+}
+
+// release clears every state-holding reference so the parked scratch
+// retains no user data, then returns it to the dependence's pool. Callers
+// must not touch the scratch afterwards; everything a run returns (the
+// outputs slice, the final state, Stats) is copied out before release.
+func (scr *runScratch[I, S, O]) release() {
+	var zeroS S
+	for _, gr := range scr.groups[:scr.numGroups] {
+		gr.specStart = zeroS
+		gr.checkpoint = zeroS
+		gr.base = execution[S, O]{}
+		gr.panicErr = nil
+		clear(gr.outBuf[:cap(gr.outBuf)])
+		clear(gr.redoBuf[:cap(gr.redoBuf)])
+		clear(gr.spliceBuf[:cap(gr.spliceBuf)])
+	}
+	clear(scr.committed[:scr.numGroups])
+	clear(scr.originals[:cap(scr.originals)])
+	scr.inputs = nil
+	scr.o = nil
+	scr.ctl = nil
+	scr.d.scratch.Put(scr)
+}
+
+// groupTask is the pool task body for group slot j: the per-slot closure
+// wrapping it is created once and recycled with the scratch.
+func (scr *runScratch[I, S, O]) groupTask(j int) {
+	gr := scr.groups[j]
+	defer scr.wg.Done()
+	defer gr.done.Done()
+	if scr.ctl != nil {
+		// Retire the group lane on every exit, panic included, before
+		// the done latch releases the coordinator.
+		defer scr.ctl.Done(gr.lane)
+	}
+	// Panic isolation: a panic in user code on this lane marks the group
+	// failed — value and stack preserved — and squashes it together with
+	// its successors; their results would be discarded anyway once the
+	// boundary inspection aborts here. Earlier groups are left running;
+	// their results are still committable.
+	defer func() {
+		if rec := recover(); rec != nil {
+			gr.failure = failPanic
+			gr.panicErr = &PanicError{Value: rec, Stack: debug.Stack()}
+			for _, g := range scr.groups[j:scr.numGroups] {
+				g.aborted.Store(true)
+			}
+		}
+	}()
+	scr.d.executeGroup(scr.inputs, gr, scr.rollback, scr.timeout, &scr.invocations, scr.o)
+}
+
+// cleared returns s resized to length n with every element zeroed,
+// reusing capacity when it suffices.
+func cleared[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
 }
 
 // runSpeculative implements the §3.1 execution model. Outputs stream
@@ -455,24 +643,28 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 	ctl := opts.Sched
 	coordLane := opts.SchedLane
 
+	o := opts.Obs
+	scr := d.getScratch()
+	scr.begin(inputs, numGroups, &opts, o)
+	defer scr.release()
+	groups := scr.groups[:numGroups]
+
 	// Derive all random streams on the coordinator so the run is
 	// reproducible regardless of scheduling: per-group spec stream,
-	// execution stream, and redo stream.
-	groups := make([]*groupRun[I, S, O], numGroups)
-	specSrcs := make([]*rng.Source, numGroups)
-	execSrcs := make([]*rng.Source, numGroups)
+	// execution stream, and redo stream, split into the recycled records
+	// in the same order a cold run would Split them.
 	for j := 0; j < numGroups; j++ {
-		specSrcs[j] = root.Split()
-		execSrcs[j] = root.Split()
-		groups[j] = &groupRun[I, S, O]{
-			idx:     j,
-			start:   j * g,
-			end:     min(n, (j+1)*g),
-			redoSrc: root.Split(),
-			ctl:     ctl,
-			lane:    coordLane + 1 + j,
-			done:    make(chan struct{}),
-		}
+		gr := groups[j]
+		gr.idx = j
+		gr.start, gr.end = j*g, min(n, (j+1)*g)
+		gr.ctl, gr.lane = ctl, coordLane+1+j
+		root.SplitInto(&gr.specSrc)
+		root.SplitInto(&gr.execSrc)
+		root.SplitInto(&gr.redoSrc)
+		gr.aborted.Store(false)
+		gr.failure, gr.failArg, gr.panicErr = failNone, 0, nil
+		gr.execNS = 0
+		gr.checkpointAt = 0
 	}
 
 	// Speculative start states: group 0 starts from the initial state;
@@ -480,14 +672,13 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 	// panic in the auxiliary code (or the state clone feeding it) marks
 	// the group failed before launch: its lane bails immediately and the
 	// boundary inspection below turns the failure into an abort.
-	o := opts.Obs
 	groups[0].specStart = d.ops.Clone(initial)
 	// auxNS, commitNS and wasteNS feed the wasted-work attribution:
 	// per-group lane nanoseconds, resolved into committed vs discarded
 	// when the run's outcome is known (finishLaneCPU below).
-	auxNS := make([]int64, numGroups)
-	commitNS := make([]int64, numGroups)
-	wasteNS := make([]int64, numGroups)
+	auxNS := scr.auxNS
+	commitNS := scr.commitNS
+	wasteNS := scr.wasteNS
 	for j := 1; j < numGroups; j++ {
 		lo := groups[j].start - window
 		if lo < 0 {
@@ -500,10 +691,11 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 			ctl.Yield(sched.PointAux, coordLane)
 		}
 		auxStart := time.Now()
-		spec, ok := d.safeAux(specSrcs[j], initial, recent)
+		spec, ok, pe := d.safeAux(&groups[j].specSrc, initial, recent)
 		auxNS[j] = time.Since(auxStart).Nanoseconds()
 		if !ok {
 			groups[j].failure = failPanic
+			groups[j].panicErr = pe
 			groups[j].aborted.Store(true)
 			continue
 		}
@@ -537,36 +729,13 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 		}()
 	}
 	poolBase := p.Metrics() // baseline for this run's scheduler deltas
-	var invocations atomic.Int64
-	var wg sync.WaitGroup
-	tasks := make([]pool.Task, numGroups)
+	// The task bodies (groupTask) and their closures live in the scratch;
+	// arm the latches only now, so nothing between begin and launch can
+	// strand an armed latch into the next run.
+	tasks := scr.tasks[:numGroups]
 	for j := 0; j < numGroups; j++ {
-		j := j
-		gr := groups[j]
-		wg.Add(1)
-		tasks[j] = func() {
-			defer wg.Done()
-			defer close(gr.done)
-			if ctl != nil {
-				// Retire the group lane on every exit, panic included,
-				// before the done channel releases the coordinator.
-				defer ctl.Done(gr.lane)
-			}
-			// Panic isolation: a panic in user code on this lane marks
-			// the group failed and squashes it together with its
-			// successors — their results would be discarded anyway once
-			// the boundary inspection aborts here. Earlier groups are
-			// left running; their results are still committable.
-			defer func() {
-				if r := recover(); r != nil {
-					gr.failure = failPanic
-					for _, g := range groups[j:] {
-						g.aborted.Store(true)
-					}
-				}
-			}()
-			d.executeGroup(execSrcs[j], inputs, gr, opts.Rollback, opts.GroupTimeout, &invocations, o)
-		}
+		scr.wg.Add(1)
+		groups[j].done.Add(1)
 	}
 	// Fan the whole group set out in one batch operation; a closed pool
 	// leaves a suffix unqueued, which runs inline on the coordinator. Both
@@ -595,7 +764,7 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 	outs := make([]O, 0, n)
 	// committed holds, per validated group, the execution whose outputs
 	// are committed.
-	committed := make([]execution[S, O], numGroups)
+	committed := scr.committed
 
 	abortAt := -1 // first group index whose speculation failed
 	// abort squashes groups j.. and records the boundary outcome. The
@@ -660,7 +829,7 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 	if ctl != nil {
 		ctl.Block(coordLane)
 	}
-	<-first.done
+	first.done.Wait()
 	if ctl != nil {
 		ctl.Unblock(coordLane)
 	}
@@ -672,13 +841,14 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 		committed[0] = first.base
 	}
 
+	hashFirst := d.hashFirst()
 	for j := 1; j < numGroups && abortAt < 0; j++ {
 		prev := groups[j-1]
 		cur := groups[j]
 		if ctl != nil {
 			ctl.Block(coordLane)
 		}
-		<-cur.done
+		cur.done.Wait()
 		if ctl != nil {
 			ctl.Unblock(coordLane)
 		}
@@ -693,7 +863,8 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 		// The previous group's final state depends on which of its
 		// executions was committed; re-executions below replace only
 		// the suffix after the checkpoint, so the originals set always
-		// extends the committed prefix.
+		// extends the committed prefix. The originals (and, hash-first,
+		// their fingerprints) accumulate in recycled scratch storage.
 		var vstart time.Time
 		if o != nil {
 			vstart = time.Now()
@@ -701,10 +872,25 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 		if ctl != nil {
 			ctl.Yield(sched.PointValidate, coordLane)
 		}
-		originals := []S{committed[j-1].final}
-		matched, ok := d.safeMatchAny(cur.specStart, originals)
+		var specFP uint64
+		if hashFirst {
+			fp, ok, pe := d.safeFingerprint(cur.specStart)
+			if !ok {
+				cur.failure, cur.panicErr = failPanic, pe
+				abort(j, 0)
+				break
+			}
+			specFP = fp
+		}
+		originals, ok, pe := scr.resetOriginals(committed[j-1].final, hashFirst)
 		if !ok {
-			cur.failure = failPanic
+			cur.failure, cur.panicErr = failPanic, pe
+			abort(j, 0)
+			break
+		}
+		matched, ok, pe := d.acceptAttempt(cur.specStart, specFP, hashFirst, originals, scr.origFPs, st, o)
+		if !ok {
+			cur.failure, cur.panicErr = failPanic, pe
 			abort(j, 0)
 			break
 		}
@@ -716,6 +902,7 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 
 		redosUsed := 0
 		panicked := false
+		var panicErr *PanicError
 		var redoNS, acceptedRedoNS int64
 		for t := 0; !matched && t < redoMax; t++ {
 			if o != nil {
@@ -726,22 +913,26 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 				ctl.Yield(sched.PointRedo, coordLane)
 			}
 			redoStart := time.Now()
-			redo, rok := d.safeRedoGroup(prev, inputs, &invocations)
+			redo, rok, rpe := d.safeRedoGroup(prev, inputs, &scr.invocations)
 			thisRedoNS := time.Since(redoStart).Nanoseconds()
 			redoNS += thisRedoNS
 			if !rok {
 				// The re-execution (prev's compute or clone) panicked:
 				// the boundary cannot resolve, so the unvalidated
 				// group is squashed and the panic attributed to it.
-				panicked = true
+				panicked, panicErr = true, rpe
 				break
 			}
 			st.Redos++
 			redosUsed++
-			originals = append(originals, redo.final)
-			m, mok := d.safeMatchAny(cur.specStart, originals)
+			originals, ok, pe = scr.appendOriginal(redo.final, hashFirst)
+			if !ok {
+				panicked, panicErr = true, pe
+				break
+			}
+			m, mok, mpe := d.acceptAttempt(cur.specStart, specFP, hashFirst, originals, scr.origFPs, st, o)
 			if !mok {
-				panicked = true
+				panicked, panicErr = true, mpe
 				break
 			}
 			if m {
@@ -758,7 +949,7 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 		commitNS[j-1] += acceptedRedoNS
 		wasteNS[j-1] += redoNS - acceptedRedoNS
 		if panicked {
-			cur.failure = failPanic
+			cur.failure, cur.panicErr = failPanic, panicErr
 			abort(j, redosUsed)
 			break
 		}
@@ -791,7 +982,7 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 		if ctl != nil {
 			ctl.Block(coordLane)
 		}
-		wg.Wait()
+		scr.wg.Wait()
 		if ctl != nil {
 			ctl.Unblock(coordLane)
 		}
@@ -805,7 +996,7 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 			}
 		}
 		emitExec(emit, committed[numGroups-1], groups[numGroups-1].start)
-		st.Invocations += invocations.Load()
+		st.Invocations += scr.invocations.Load()
 		st.UsefulInvocations += int64(n) // one committed invocation per input
 		finishLaneCPU()
 		captureScheduler(st, p, poolBase)
@@ -821,18 +1012,23 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 	if ctl != nil {
 		ctl.Block(coordLane)
 	}
-	wg.Wait()
+	scr.wg.Wait()
 	if ctl != nil {
 		ctl.Unblock(coordLane)
 	}
 	// Failure sweep: every lane is done, so the flags are final. Count
 	// and trace each contained panic and deadline squash — groups past
 	// the abort point may have failed concurrently before the squash
-	// reached them, and those panics were contained too.
+	// reached them, and those panics were contained too. The panic's
+	// value and stack ride out of the run in Stats.Panics (the EvPanic
+	// event's fixed-size argument stays the input count).
 	for _, gr := range groups {
 		switch gr.failure {
 		case failPanic:
 			st.PanickedGroups++
+			if gr.panicErr != nil {
+				st.Panics = append(st.Panics, gr.panicErr)
+			}
 			if o != nil {
 				o.PanickedGroups.Inc()
 				o.Tracer.Emit(obs.LaneCoord, obs.EvPanic, int32(gr.idx), int64(gr.end-gr.start))
@@ -860,7 +1056,7 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 		fallbackState = committed[abortAt-1].final
 	}
 	st.SquashedInputs = n - groups[abortAt].start
-	st.Invocations += invocations.Load()
+	st.Invocations += scr.invocations.Load()
 
 	fallbackStart := groups[abortAt].start
 	st.FallbackInputs = n - fallbackStart
@@ -884,36 +1080,106 @@ func (d *Dependence[I, S, O]) runSpeculative(root *rng.Source, inputs []I, initi
 }
 
 // safeAux runs the auxiliary code (including the initial-state clone that
-// feeds it) with panic containment, reporting whether it completed.
-func (d *Dependence[I, S, O]) safeAux(r *rng.Source, initial S, recent []I) (spec S, ok bool) {
+// feeds it) with panic containment, reporting whether it completed; on a
+// panic the recovered value and unwind stack come back in pe.
+func (d *Dependence[I, S, O]) safeAux(r *rng.Source, initial S, recent []I) (spec S, ok bool, pe *PanicError) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			ok = false
+			ok, pe = false, &PanicError{Value: rec, Stack: debug.Stack()}
 		}
 	}()
-	return d.aux(r, d.ops.Clone(initial), recent), true
+	return d.aux(r, d.ops.Clone(initial), recent), true, nil
 }
 
 // safeMatchAny runs the developer's acceptance method with panic
-// containment, reporting whether it completed.
-func (d *Dependence[I, S, O]) safeMatchAny(spec S, originals []S) (matched, ok bool) {
+// containment, reporting whether it completed; on a panic the recovered
+// value and unwind stack come back in pe. A nil MatchAny accepts by
+// construction.
+func (d *Dependence[I, S, O]) safeMatchAny(spec S, originals []S) (matched, ok bool, pe *PanicError) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			matched, ok = false, false
+			matched, ok, pe = false, false, &PanicError{Value: rec, Stack: debug.Stack()}
 		}
 	}()
-	return d.matchAny(spec, originals), true
+	if d.ops.MatchAny == nil {
+		return true, true, nil
+	}
+	return d.ops.MatchAny(spec, originals), true, nil
+}
+
+// safeFingerprint hashes a state with panic containment (Fingerprint is
+// user code, so it gets the same isolation MatchAny does).
+func (d *Dependence[I, S, O]) safeFingerprint(s S) (fp uint64, ok bool, pe *PanicError) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			ok, pe = false, &PanicError{Value: rec, Stack: debug.Stack()}
+		}
+	}()
+	return d.ops.Fingerprint(s), true, nil
+}
+
+// acceptAttempt resolves one acceptance attempt. Hash-first dependences
+// consult the fingerprint prefilter: when no original's fingerprint
+// equals the speculative state's, MatchAny cannot accept (the contract
+// makes equal fingerprints a necessary condition), so the attempt is a
+// recorded miss with no deep compare; a hit falls through to MatchAny.
+func (d *Dependence[I, S, O]) acceptAttempt(spec S, specFP uint64, hashFirst bool, originals []S, origFPs []uint64, st *Stats, o *obs.Observer) (matched, ok bool, pe *PanicError) {
+	if hashFirst {
+		hit := false
+		for _, fp := range origFPs {
+			if fp == specFP {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			st.FingerprintMisses++
+			if o != nil {
+				o.FingerprintMisses.Inc()
+			}
+			return false, true, nil
+		}
+		st.FingerprintHits++
+		if o != nil {
+			o.FingerprintHits.Inc()
+		}
+	}
+	return d.safeMatchAny(spec, originals)
+}
+
+// resetOriginals starts a boundary's originals set (recycled storage)
+// with the committed previous final state, fingerprinting it when the
+// dependence validates hash-first.
+func (scr *runScratch[I, S, O]) resetOriginals(first S, hashFirst bool) ([]S, bool, *PanicError) {
+	scr.originals = scr.originals[:0]
+	scr.origFPs = scr.origFPs[:0]
+	return scr.appendOriginal(first, hashFirst)
+}
+
+// appendOriginal adds one original state (and, hash-first, its
+// fingerprint) to the boundary's set.
+func (scr *runScratch[I, S, O]) appendOriginal(s S, hashFirst bool) ([]S, bool, *PanicError) {
+	if hashFirst {
+		fp, ok, pe := scr.d.safeFingerprint(s)
+		if !ok {
+			return scr.originals, false, pe
+		}
+		scr.origFPs = append(scr.origFPs, fp)
+	}
+	scr.originals = append(scr.originals, s)
+	return scr.originals, true, nil
 }
 
 // safeRedoGroup runs one re-execution with panic containment, reporting
-// whether it completed.
-func (d *Dependence[I, S, O]) safeRedoGroup(gr *groupRun[I, S, O], inputs []I, invocations *atomic.Int64) (redo execution[S, O], ok bool) {
+// whether it completed; on a panic the recovered value and unwind stack
+// come back in pe.
+func (d *Dependence[I, S, O]) safeRedoGroup(gr *groupRun[I, S, O], inputs []I, invocations *atomic.Int64) (redo execution[S, O], ok bool, pe *PanicError) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			ok = false
+			ok, pe = false, &PanicError{Value: rec, Stack: debug.Stack()}
 		}
 	}()
-	return d.redoGroup(gr, inputs, invocations), true
+	return d.redoGroup(gr, inputs, invocations), true, nil
 }
 
 // newRunPool builds the private worker pool for one run: Options.Workers
@@ -963,7 +1229,7 @@ func emitExec[S, O any](emit Emit[O], exec execution[S, O], base int) {
 // the controller each step whether the deadline expired instead of
 // consulting the real clock, because serialized lanes spend most of
 // their wall-clock time parked.
-func (d *Dependence[I, S, O]) executeGroup(r *rng.Source, inputs []I, gr *groupRun[I, S, O], rollback int, timeout time.Duration, invocations *atomic.Int64, ob *obs.Observer) {
+func (d *Dependence[I, S, O]) executeGroup(inputs []I, gr *groupRun[I, S, O], rollback int, timeout time.Duration, invocations *atomic.Int64, ob *obs.Observer) {
 	length := gr.end - gr.start
 	w := rollback
 	if w < 1 {
@@ -990,7 +1256,7 @@ func (d *Dependence[I, S, O]) executeGroup(r *rng.Source, inputs []I, gr *groupR
 		ob.Tracer.Emit(gr.idx, obs.EvGroupStart, int32(gr.idx), int64(gr.start))
 	}
 	s := d.ops.Clone(gr.specStart)
-	outs := make([]O, 0, length)
+	outs := gr.outBuf[:0]
 	gr.checkpointAt = checkpointAt
 	for idx := gr.start; idx < gr.end; idx++ {
 		if ctl != nil {
@@ -1025,13 +1291,15 @@ func (d *Dependence[I, S, O]) executeGroup(r *rng.Source, inputs []I, gr *groupR
 			gr.checkpoint = d.ops.Clone(s)
 		}
 		var o O
-		o, s = d.compute(r.Split(), inputs[idx], s)
+		gr.execSrc.SplitInto(&gr.callSrc)
+		o, s = d.compute(&gr.callSrc, inputs[idx], s)
 		invocations.Add(1)
 		outs = append(outs, o)
 	}
 	if ctl != nil {
 		ctl.Yield(sched.PointGroupFinish, gr.lane)
 	}
+	gr.outBuf = outs
 	gr.base = execution[S, O]{outputs: outs, final: s}
 	if ob != nil {
 		ob.GroupsFinished.Inc()
@@ -1040,26 +1308,35 @@ func (d *Dependence[I, S, O]) executeGroup(r *rng.Source, inputs []I, gr *groupR
 }
 
 // redoGroup re-executes the suffix of a group after its checkpoint with
-// fresh randomness, returning the suffix execution.
+// fresh randomness, returning the suffix execution. The outputs reuse the
+// group's redo buffer: a boundary consumes each redo (accepting it into a
+// splice or discarding it) before requesting the next, so one buffer per
+// group suffices.
 func (d *Dependence[I, S, O]) redoGroup(gr *groupRun[I, S, O], inputs []I, invocations *atomic.Int64) execution[S, O] {
 	s := d.ops.Clone(gr.checkpoint)
-	outs := make([]O, 0, gr.end-gr.checkpointAt)
+	outs := gr.redoBuf[:0]
 	for idx := gr.checkpointAt; idx < gr.end; idx++ {
 		var o O
-		o, s = d.compute(gr.redoSrc.Split(), inputs[idx], s)
+		gr.redoSrc.SplitInto(&gr.redoCallSrc)
+		o, s = d.compute(&gr.redoCallSrc, inputs[idx], s)
 		invocations.Add(1)
 		outs = append(outs, o)
 	}
+	gr.redoBuf = outs
 	return execution[S, O]{outputs: outs, final: s}
 }
 
 // spliceExecution replaces the post-checkpoint suffix of base with the
-// re-executed suffix, yielding the committed execution for the group.
+// re-executed suffix, yielding the committed execution for the group. The
+// merged outputs live in the group's splice buffer — a group is spliced
+// at most once per run (an accepted redo ends its boundary), so the
+// buffer is never overwritten while referenced.
 func spliceExecution[I, S, O any](base execution[S, O], redo execution[S, O], gr *groupRun[I, S, O]) execution[S, O] {
 	prefix := gr.checkpointAt - gr.start
-	outs := make([]O, 0, gr.end-gr.start)
+	outs := gr.spliceBuf[:0]
 	outs = append(outs, base.outputs[:prefix]...)
 	outs = append(outs, redo.outputs...)
+	gr.spliceBuf = outs
 	return execution[S, O]{outputs: outs, final: redo.final}
 }
 

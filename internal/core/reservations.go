@@ -25,6 +25,7 @@ package core
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -129,7 +130,12 @@ func SplitReservationArg(arg int64) (round, input int) {
 	return int(arg >> 32), int(uint32(arg))
 }
 
-// resvRun is the per-run state of one reservations execution.
+// resvRun is the per-run state of one reservations execution. Runs
+// recycle it through the dependence's resvScratch pool: every slice keeps
+// its capacity between runs (state-holding elements cleared on release),
+// and the wave tasks with their closures are created once per chunk slot.
+// Only the outputs slice is allocated fresh — it is returned to the
+// caller.
 type resvRun[I, S, O any] struct {
 	d      *Dependence[I, S, O]
 	inputs []I
@@ -165,6 +171,94 @@ type resvRun[I, S, O any] struct {
 	committed int
 	shared    S
 	outs      []O
+
+	// panicMu guards panics, the contained user-code panic records
+	// (value+stack) the run surfaces through Stats.Panics; lanes can
+	// fail concurrently, the coordinator drains after the wave barrier.
+	panicMu sync.Mutex
+	panics  []*PanicError
+
+	// Per-group round state, recycled across groups and runs: pending
+	// input indexes, per-input footprints, winners' returned states,
+	// win flags, and the per-input lane nanoseconds of the round in
+	// flight.
+	pending   []int
+	fps       [][]int
+	states    []S
+	won       []bool
+	reserveNS []int64
+	computeNS []int64
+
+	// Wave dispatch state: waveTasks[c] is the recycled pool task for
+	// chunk c (created once per slot), waveBody the current wave's
+	// per-input body, wavePending the pending set it fans over, wavePer
+	// the chunk width, and wavePoint the schedule point lanes yield at.
+	// reserveBody and checkBody are the two bodies, bound once.
+	waveTasks   []pool.Task
+	waveBody    func(lane, i int)
+	wavePending []int
+	wavePer     int
+	wavePoint   sched.Point
+	waveWG      sync.WaitGroup
+	reserveBody func(lane, i int)
+	checkBody   func(lane, i int)
+
+	// Current group context read by the bound bodies: group index, group
+	// start input, and the 0-based round.
+	gj, gstart, ground int
+}
+
+// getResvRun fetches (or builds) a recycled reservations run state.
+func (d *Dependence[I, S, O]) getResvRun() *resvRun[I, S, O] {
+	if v := d.resvScratch.Get(); v != nil {
+		return v.(*resvRun[I, S, O])
+	}
+	r := &resvRun[I, S, O]{d: d}
+	r.reserveBody = r.reserveOne
+	r.checkBody = r.checkOne
+	return r
+}
+
+// release clears every state-holding reference (the outputs slice is the
+// caller's now and is simply forgotten) and parks the run state for
+// reuse.
+func (r *resvRun[I, S, O]) release() {
+	var zeroS S
+	r.inputs = nil
+	r.opts = Options{}
+	r.o = nil
+	r.ctl = nil
+	r.p = nil
+	r.emit = nil
+	r.st = nil
+	r.shared = zeroS
+	r.outs = nil
+	clear(r.fps[:cap(r.fps)])
+	clear(r.states[:cap(r.states)])
+	clear(r.panics[:cap(r.panics)])
+	r.panics = r.panics[:0]
+	r.waveBody = nil
+	r.wavePending = nil
+	r.d.resvScratch.Put(r)
+}
+
+// containPanic records one contained user-code panic's value and stack.
+func (r *resvRun[I, S, O]) containPanic(pe *PanicError) {
+	r.panicMu.Lock()
+	r.panics = append(r.panics, pe)
+	r.panicMu.Unlock()
+}
+
+// drainPanics moves the run's contained panic records into Stats.Panics.
+// Called after wave barriers (or on the sequential coordinator), so no
+// lane is still appending.
+func (r *resvRun[I, S, O]) drainPanics() {
+	if len(r.panics) == 0 {
+		return
+	}
+	r.st.Panics = append(r.st.Panics, r.panics...)
+	clear(r.panics)
+	r.panics = r.panics[:0]
 }
 
 // runReservations executes the deterministic-reservations protocol. It is
@@ -176,16 +270,26 @@ func (d *Dependence[I, S, O]) runReservations(root *rng.Source, inputs []I, init
 	numGroups := (n + g - 1) / g
 	st.Groups = numGroups
 
-	srcs := make([]rng.Source, n)
-	for i := range srcs {
-		srcs[i] = *root.Split()
+	r := d.getResvRun()
+	defer r.release()
+	if cap(r.srcs) < n {
+		r.srcs = make([]rng.Source, n)
+	}
+	r.srcs = r.srcs[:n]
+	for i := range r.srcs {
+		root.SplitInto(&r.srcs[i])
 	}
 
-	r := &resvRun[I, S, O]{
-		d: d, inputs: inputs, srcs: srcs, opts: opts, o: opts.Obs,
-		ctl: opts.Sched, coordLane: opts.SchedLane,
-		st: st, shared: d.ops.Clone(initial), outs: make([]O, n), emit: emit,
-	}
+	r.inputs, r.opts, r.o = inputs, opts, opts.Obs
+	r.ctl, r.coordLane = opts.Sched, opts.SchedLane
+	r.st, r.emit = st, emit
+	r.shared = d.ops.Clone(initial)
+	r.outs = make([]O, n) // returned to the caller, never recycled
+	r.failed.Store(int32(failNone))
+	r.failArg = 0
+	r.invocations.Store(0)
+	r.fpViolations.Store(0)
+	r.committed = 0
 	r.lanes = opts.Workers
 	if r.lanes < 1 {
 		r.lanes = 1
@@ -193,17 +297,21 @@ func (d *Dependence[I, S, O]) runReservations(root *rng.Source, inputs []I, init
 
 	slots := 1
 	if d.reserve != nil {
-		ns, ok := d.safeNumSlots(r.shared)
+		ns, ok, pe := d.safeNumSlots(r.shared)
 		if !ok {
 			// NumSlots panicked: contained, but no parallel protocol is
 			// possible — the whole vector runs sequentially.
+			r.containPanic(pe)
 			return r.setupFallback()
 		}
 		if ns > slots {
 			slots = ns
 		}
 	}
-	r.table = make([]atomic.Int64, slots)
+	if cap(r.table) < slots {
+		r.table = make([]atomic.Int64, slots)
+	}
+	r.table = r.table[:slots]
 
 	p := opts.Pool
 	if p == nil {
@@ -248,19 +356,26 @@ func (r *resvRun[I, S, O]) run(numGroups, g int) ([]O, S, Stats) {
 // reporting success and — on failure — the inputs still pending.
 func (r *resvRun[I, S, O]) runGroup(j, start, end int) (bool, []int) {
 	width := end - start
-	pending := make([]int, 0, width)
+	// The group context the bound wave bodies read, and the recycled
+	// round buffers: footprints (input i's at fps[i-start]), winners'
+	// returned states, win flags, and per-input lane nanoseconds for the
+	// round in flight — the latter written by the owning lane inside a
+	// wave and read by the coordinator after the wave's barrier, zeroed
+	// once attributed so a failure sweep only picks up work no
+	// commitRound has filed yet.
+	r.gj, r.gstart = j, start
+	pending := r.pending[:0]
 	for i := start; i < end; i++ {
 		pending = append(pending, i)
 	}
-	fps := make([][]int, width) // input i's footprint at fps[i-start]
-	states := make([]S, width)  // winners' returned states
-	won := make([]bool, width)
-	// Per-input lane nanoseconds for the round in flight, written by the
-	// owning lane inside a wave and read by the coordinator after the
-	// wave's barrier. Entries are zeroed once attributed so a failure
-	// sweep only picks up work no commitRound has filed yet.
-	reserveNS := make([]int64, width)
-	computeNS := make([]int64, width)
+	r.pending = pending
+	r.fps = cleared(r.fps, width)
+	r.states = cleared(r.states, width)
+	r.won = cleared(r.won, width)
+	r.reserveNS = cleared(r.reserveNS, width)
+	r.computeNS = cleared(r.computeNS, width)
+	fps, states, won := r.fps, r.states, r.won
+	reserveNS, computeNS := r.reserveNS, r.computeNS
 	var gCommitNS, gWasteNS int64
 
 	if r.o != nil {
@@ -296,6 +411,7 @@ func (r *resvRun[I, S, O]) runGroup(j, start, end int) (bool, []int) {
 		round := rounds
 		rounds++
 		r.st.Rounds++
+		r.ground = round
 
 		// Reserve: every pending input write-mins its index into its
 		// footprint's cells. The committed state is immutable for the
@@ -303,24 +419,7 @@ func (r *resvRun[I, S, O]) runGroup(j, start, end int) (bool, []int) {
 		for s := range r.table {
 			r.table[s].Store(int64(len(r.inputs)))
 		}
-		r.wave(sched.PointReserve, pending, func(lane, i int) {
-			laneStart := time.Now()
-			fp := r.footprintOf(i)
-			fps[i-start] = fp
-			for _, sl := range fp {
-				for {
-					cur := r.table[sl].Load()
-					if cur <= int64(i) || r.table[sl].CompareAndSwap(cur, int64(i)) {
-						break
-					}
-				}
-			}
-			if r.o != nil {
-				r.o.Reserves.Inc()
-				r.o.Tracer.Emit(lane, obs.EvReserve, int32(j), ReservationArg(round, i))
-			}
-			reserveNS[i-start] = time.Since(laneStart).Nanoseconds()
-		})
+		r.wave(sched.PointReserve, pending, r.reserveBody)
 		if r.failed.Load() != int32(failNone) {
 			break
 		}
@@ -328,62 +427,7 @@ func (r *resvRun[I, S, O]) runGroup(j, start, end int) (bool, []int) {
 		// Check + compute: an input holding the minimum on all its slots
 		// wins and runs its compute from a private clone of the round's
 		// snapshot; losers carry forward.
-		r.wave(sched.PointReserveCheck, pending, func(lane, i int) {
-			k := i - start
-			laneStart := time.Now()
-			defer func() {
-				computeNS[k] = time.Since(laneStart).Nanoseconds()
-			}()
-			won[k] = true
-			for _, sl := range fps[k] {
-				if r.table[sl].Load() != int64(i) {
-					won[k] = false
-					break
-				}
-			}
-			if !won[k] {
-				if r.o != nil {
-					r.o.ReserveConflicts.Inc()
-					r.o.Tracer.Emit(lane, obs.EvReserveLost, int32(j), ReservationArg(round, i))
-				}
-				return
-			}
-			snap := r.d.ops.Clone(r.shared)
-			// The oracle needs its own pristine clone: compute may mutate
-			// snap in place, so snap cannot serve as the "before" state.
-			oracle := r.opts.FootprintCheck && r.d.reserve != nil && r.d.reserve.Touched != nil
-			var before S
-			if oracle {
-				before = r.d.ops.Clone(r.shared)
-			}
-			src := r.srcs[i]
-			out, next := r.d.compute(&src, r.inputs[i], snap)
-			r.invocations.Add(1)
-			r.outs[i] = out
-			states[k] = next
-			if oracle {
-				declared := make(map[int]bool, len(fps[k]))
-				for _, sl := range fps[k] {
-					declared[sl] = true
-				}
-				for _, sl := range r.d.reserve.Touched(before, next) {
-					if declared[sl] {
-						continue
-					}
-					// A lying footprint: the winner touched a slot it never
-					// reserved, so this round's winner set is not conflict-
-					// free. Nothing from the round commits (the group breaks
-					// before commitRound) and the pending inputs re-run
-					// sequentially from the committed state.
-					r.fpViolations.Add(1)
-					if r.o != nil {
-						r.o.FootprintViolations.Inc()
-						r.o.Tracer.Emit(lane, obs.EvFootprintViolation, int32(j), int64(sl))
-					}
-					r.failed.CompareAndSwap(int32(failNone), int32(failFootprint))
-				}
-			}
-		})
+		r.wave(sched.PointReserveCheck, pending, r.checkBody)
 		if r.failed.Load() != int32(failNone) {
 			break
 		}
@@ -444,6 +488,89 @@ func (r *resvRun[I, S, O]) runGroup(j, start, end int) (bool, []int) {
 	return true, nil
 }
 
+// reserveOne is the reserve wave's per-input body (bound once per
+// resvRun): evaluate the input's footprint against the committed state
+// and write-min its index into the footprint's table cells.
+func (r *resvRun[I, S, O]) reserveOne(lane, i int) {
+	laneStart := time.Now()
+	fp := r.footprintOf(i)
+	r.fps[i-r.gstart] = fp
+	for _, sl := range fp {
+		for {
+			cur := r.table[sl].Load()
+			if cur <= int64(i) || r.table[sl].CompareAndSwap(cur, int64(i)) {
+				break
+			}
+		}
+	}
+	if r.o != nil {
+		r.o.Reserves.Inc()
+		r.o.Tracer.Emit(lane, obs.EvReserve, int32(r.gj), ReservationArg(r.ground, i))
+	}
+	r.reserveNS[i-r.gstart] = time.Since(laneStart).Nanoseconds()
+}
+
+// checkOne is the check+compute wave's per-input body (bound once per
+// resvRun): an input holding the minimum on all its slots wins and runs
+// its compute from a private clone of the round's snapshot; losers carry
+// forward into the next round.
+func (r *resvRun[I, S, O]) checkOne(lane, i int) {
+	k := i - r.gstart
+	laneStart := time.Now()
+	defer func() {
+		r.computeNS[k] = time.Since(laneStart).Nanoseconds()
+	}()
+	r.won[k] = true
+	for _, sl := range r.fps[k] {
+		if r.table[sl].Load() != int64(i) {
+			r.won[k] = false
+			break
+		}
+	}
+	if !r.won[k] {
+		if r.o != nil {
+			r.o.ReserveConflicts.Inc()
+			r.o.Tracer.Emit(lane, obs.EvReserveLost, int32(r.gj), ReservationArg(r.ground, i))
+		}
+		return
+	}
+	snap := r.d.ops.Clone(r.shared)
+	// The oracle needs its own pristine clone: compute may mutate
+	// snap in place, so snap cannot serve as the "before" state.
+	oracle := r.opts.FootprintCheck && r.d.reserve != nil && r.d.reserve.Touched != nil
+	var before S
+	if oracle {
+		before = r.d.ops.Clone(r.shared)
+	}
+	src := r.srcs[i]
+	out, next := r.d.compute(&src, r.inputs[i], snap)
+	r.invocations.Add(1)
+	r.outs[i] = out
+	r.states[k] = next
+	if oracle {
+		declared := make(map[int]bool, len(r.fps[k]))
+		for _, sl := range r.fps[k] {
+			declared[sl] = true
+		}
+		for _, sl := range r.d.reserve.Touched(before, next) {
+			if declared[sl] {
+				continue
+			}
+			// A lying footprint: the winner touched a slot it never
+			// reserved, so this round's winner set is not conflict-
+			// free. Nothing from the round commits (the group breaks
+			// before commitRound) and the pending inputs re-run
+			// sequentially from the committed state.
+			r.fpViolations.Add(1)
+			if r.o != nil {
+				r.o.FootprintViolations.Inc()
+				r.o.Tracer.Emit(lane, obs.EvFootprintViolation, int32(r.gj), int64(sl))
+			}
+			r.failed.CompareAndSwap(int32(failNone), int32(failFootprint))
+		}
+	}
+}
+
 // commitRound merges the round's winners into the committed state in
 // ascending input order and retires their outputs. A Merge panic is
 // contained: the state under merge is a private clone, so the committed
@@ -465,8 +592,9 @@ func (r *resvRun[I, S, O]) commitRound(j, round, start int, pending []int, fps [
 			if !won[i-start] {
 				continue
 			}
-			merged, ok := r.safeMerge(next, states[i-start], fps[i-start])
+			merged, ok, pe := r.safeMerge(next, states[i-start], fps[i-start])
 			if !ok {
+				r.containPanic(pe)
 				r.failed.CompareAndSwap(int32(failNone), int32(failPanic))
 				return false
 			}
@@ -548,59 +676,71 @@ var wholeStateFootprint = []int{0}
 
 // wave fans body over the pending inputs: at most r.lanes contiguous
 // chunks, one pool task each, yielding at point on the chunk's lane
-// before every input. A body panic is contained (failPanic); once the run
-// is failed, remaining work bails at its next yield. The coordinator
-// steps out of the schedule around the submit-and-wait (unqueued tasks
-// run inline on it, yielding on their own lanes).
+// before every input. A body panic is contained (failPanic, value and
+// stack recorded); once the run is failed, remaining work bails at its
+// next yield. The coordinator steps out of the schedule around the
+// submit-and-wait (unqueued tasks run inline on it, yielding on their own
+// lanes). The chunk tasks are recycled slots created once per chunk index
+// and reused across waves, groups and runs; the wave's parameters travel
+// through the wave* fields, published to the workers by SubmitBatch and
+// fenced from the next wave by the waveWG barrier.
 func (r *resvRun[I, S, O]) wave(point sched.Point, pending []int, body func(lane, i int)) {
 	chunks := r.lanes
 	if chunks > len(pending) {
 		chunks = len(pending)
 	}
 	per := (len(pending) + chunks - 1) / chunks
-	var wg sync.WaitGroup
-	var tasks []pool.Task
-	for c := 0; c*per < len(pending); c++ {
-		lo, hi := c*per, (c+1)*per
-		if hi > len(pending) {
-			hi = len(pending)
-		}
-		lane := r.coordLane + 1 + c
-		chunk := pending[lo:hi]
-		wg.Add(1)
-		tasks = append(tasks, func() {
-			defer wg.Done()
-			if r.ctl != nil {
-				defer r.ctl.Done(lane)
-			}
-			defer func() {
-				if rec := recover(); rec != nil {
-					r.failed.CompareAndSwap(int32(failNone), int32(failPanic))
-				}
-			}()
-			for _, i := range chunk {
-				if r.ctl != nil {
-					r.ctl.Yield(point, lane)
-				}
-				if r.failed.Load() != int32(failNone) {
-					return
-				}
-				body(lane, i)
-			}
-		})
+	nTasks := (len(pending) + per - 1) / per
+	for c := len(r.waveTasks); c < nTasks; c++ {
+		c := c
+		r.waveTasks = append(r.waveTasks, func() { r.waveTask(c) })
 	}
+	r.wavePoint, r.waveBody = point, body
+	r.wavePending, r.wavePer = pending, per
+	r.waveWG.Add(nTasks)
 	if r.ctl != nil {
 		r.ctl.Block(r.coordLane)
 	}
-	nq, err := r.p.SubmitBatch(tasks)
+	nq, err := r.p.SubmitBatch(r.waveTasks[:nTasks])
 	if err != nil {
-		for _, task := range tasks[nq:] {
+		for _, task := range r.waveTasks[nq:nTasks] {
 			task()
 		}
 	}
-	wg.Wait()
+	r.waveWG.Wait()
 	if r.ctl != nil {
 		r.ctl.Unblock(r.coordLane)
+	}
+}
+
+// waveTask runs chunk c of the wave in flight: the contiguous slice of
+// wavePending at [c*wavePer, (c+1)*wavePer), on schedule lane
+// coordLane+1+c.
+func (r *resvRun[I, S, O]) waveTask(c int) {
+	defer r.waveWG.Done()
+	lane := r.coordLane + 1 + c
+	if r.ctl != nil {
+		defer r.ctl.Done(lane)
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			r.containPanic(&PanicError{Value: rec, Stack: debug.Stack()})
+			r.failed.CompareAndSwap(int32(failNone), int32(failPanic))
+		}
+	}()
+	lo := c * r.wavePer
+	hi := lo + r.wavePer
+	if hi > len(r.wavePending) {
+		hi = len(r.wavePending)
+	}
+	for _, i := range r.wavePending[lo:hi] {
+		if r.ctl != nil {
+			r.ctl.Yield(r.wavePoint, lane)
+		}
+		if r.failed.Load() != int32(failNone) {
+			return
+		}
+		r.waveBody(lane, i)
 	}
 }
 
@@ -671,6 +811,7 @@ func (r *resvRun[I, S, O]) abort(j, numGroups, g, start, end int, pending []int)
 	// The fallback produced committed outputs; file its time against the
 	// aborting group, whose squashed work it redid.
 	r.flushLaneCPU(j, time.Since(fbStart).Nanoseconds(), 0)
+	r.drainPanics()
 }
 
 // seqOne processes one input sequentially from the committed state with
@@ -693,11 +834,14 @@ func (r *resvRun[I, S, O]) seqOne(i int) {
 	r.st.UsefulInvocations++
 }
 
-// tryComputeSeq is seqOne's contained first attempt.
+// tryComputeSeq is seqOne's contained first attempt. It runs on the
+// coordinator, so the panic record goes straight into the run's
+// collection (drained by the fallback epilogues).
 func (r *resvRun[I, S, O]) tryComputeSeq(i int) (out O, next S, ok bool) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			ok = false
+			r.containPanic(&PanicError{Value: rec, Stack: debug.Stack()})
 		}
 	}()
 	src := r.srcs[i]
@@ -732,26 +876,30 @@ func (r *resvRun[I, S, O]) setupFallback() ([]O, S, Stats) {
 		}
 	}
 	r.flushLaneCPU(0, time.Since(fbStart).Nanoseconds(), 0)
+	r.drainPanics()
 	return r.outs, r.shared, *r.st
 }
 
 // safeNumSlots evaluates the developer's slot count with panic
-// containment.
-func (d *Dependence[I, S, O]) safeNumSlots(s S) (n int, ok bool) {
+// containment, returning the recovered value and stack on failure.
+func (d *Dependence[I, S, O]) safeNumSlots(s S) (n int, ok bool, pe *PanicError) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			ok = false
+			pe = &PanicError{Value: rec, Stack: debug.Stack()}
 		}
 	}()
-	return d.reserve.NumSlots(s), true
+	return d.reserve.NumSlots(s), true, nil
 }
 
-// safeMerge applies the developer's Merge with panic containment.
-func (r *resvRun[I, S, O]) safeMerge(dst, src S, slots []int) (merged S, ok bool) {
+// safeMerge applies the developer's Merge with panic containment,
+// returning the recovered value and stack on failure.
+func (r *resvRun[I, S, O]) safeMerge(dst, src S, slots []int) (merged S, ok bool, pe *PanicError) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			ok = false
+			pe = &PanicError{Value: rec, Stack: debug.Stack()}
 		}
 	}()
-	return r.d.reserve.Merge(dst, src, slots), true
+	return r.d.reserve.Merge(dst, src, slots), true, nil
 }

@@ -1,0 +1,37 @@
+package mathx
+
+import "math"
+
+// Hash64 is an incremental FNV-1a 64-bit hash for building state
+// fingerprints (core.StateOps.Fingerprint): fold words in with Word/Int/
+// Float, read the digest with Sum. The zero value is NOT a valid hash;
+// start from NewHash64.
+type Hash64 uint64
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// NewHash64 returns the FNV-1a offset basis.
+func NewHash64() Hash64 { return fnvOffset64 }
+
+// Word folds one 64-bit word into the hash, least-significant byte first.
+func (h Hash64) Word(x uint64) Hash64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ Hash64(x&0xff)) * fnvPrime64
+		x >>= 8
+	}
+	return h
+}
+
+// Int folds an int into the hash.
+func (h Hash64) Int(n int) Hash64 { return h.Word(uint64(n)) }
+
+// Float folds a float64's IEEE-754 bits into the hash. Note +0 and -0
+// hash differently; canonicalize first if that distinction must not
+// matter.
+func (h Hash64) Float(f float64) Hash64 { return h.Word(math.Float64bits(f)) }
+
+// Sum returns the digest.
+func (h Hash64) Sum() uint64 { return uint64(h) }

@@ -48,12 +48,22 @@ func New(seed uint64) *Source {
 // successive Split calls yield distinct children; the child's stream does
 // not overlap the parent's continued output in any way that matters here.
 func (r *Source) Split() *Source {
-	s := r.Uint64()
 	c := &Source{}
+	r.SplitInto(c)
+	return c
+}
+
+// SplitInto derives an independent child stream into c, reusing its
+// storage. It advances the parent exactly as Split does and produces a
+// bit-identical child stream, so callers may recycle Source values across
+// runs without perturbing replay determinism. Any cached Gaussian spare in
+// c is discarded.
+func (r *Source) SplitInto(c *Source) {
+	s := r.Uint64()
 	c.state = splitmix64(&s)
 	c.inc = splitmix64(&s) | 1
+	c.spare, c.spareOK = 0, false
 	c.Uint32()
-	return c
 }
 
 // Uint32 returns the next 32 uniformly distributed bits (PCG-XSH-RR).

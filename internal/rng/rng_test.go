@@ -233,3 +233,28 @@ func TestIntnPropertyUniformCoverage(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSplitIntoMatchesSplit(t *testing.T) {
+	a := New(97)
+	b := New(97)
+	var child Source
+	for i := 0; i < 16; i++ {
+		want := a.Split()
+		// Leave a stale Gaussian spare behind to prove SplitInto resets it.
+		child.spareOK = true
+		child.spare = 42
+		b.SplitInto(&child)
+		for j := 0; j < 8; j++ {
+			if w, g := want.Uint64(), child.Uint64(); w != g {
+				t.Fatalf("split %d draw %d: Split %#x, SplitInto %#x", i, j, w, g)
+			}
+		}
+		if w, g := want.Norm(), child.Norm(); w != g {
+			t.Fatalf("split %d: Norm diverged: %v vs %v", i, w, g)
+		}
+		// Parents must stay in lockstep too.
+		if w, g := a.Uint64(), b.Uint64(); w != g {
+			t.Fatalf("split %d: parents diverged: %#x vs %#x", i, w, g)
+		}
+	}
+}

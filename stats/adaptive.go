@@ -25,24 +25,8 @@ type AdaptiveStats = core.AdaptiveStats
 // autotuned constant — while preserving the §3.1 validation semantics
 // within every chunk.
 func (sd *StateDependence[I, S, O]) RunAdaptive(o AdaptiveOptions) ([]O, S, AdaptiveStats) {
-	dep := core.New(core.Compute[I, S, O](sd.compute), core.Aux[I, S](sd.aux), core.StateOps[S]{
-		Clone:    sd.clone,
-		MatchAny: sd.match,
-	})
-	return dep.RunAdaptive(sd.inputs, sd.initial, core.AdaptiveOptions{
-		Options: core.Options{
-			UseAux:       o.UseAux,
-			GroupSize:    o.GroupSize,
-			Window:       o.Window,
-			RedoMax:      o.RedoMax,
-			Rollback:     o.Rollback,
-			Workers:      o.Workers,
-			Seed:         o.Seed,
-			GroupTimeout: o.GroupTimeout,
-			Breaker:      o.Breaker,
-			Pool:         sd.sharedPool,
-			Obs:          sd.observer,
-		},
+	return sd.dep().RunAdaptive(sd.inputs, sd.initial, core.AdaptiveOptions{
+		Options:     sd.coreOptionsFrom(o.Options),
 		MinGroup:    o.MinGroup,
 		MaxGroup:    o.MaxGroup,
 		ChunkGroups: o.ChunkGroups,

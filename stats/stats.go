@@ -51,6 +51,14 @@ type CloneFunc[S any] func(S) S
 // acceptable given the set of original states produced so far.
 type MatchFunc[S any] func(speculative S, originals []S) bool
 
+// FingerprintFunc is the optional hash-first acceptance prefilter: a
+// cheap digest of the state features MatchFunc compares. The contract is
+// one-sided — Fingerprint(a) == Fingerprint(b) whenever MatchFunc would
+// accept a against {b} — so a fingerprint mismatch rejects without the
+// deep comparison and a collision merely falls through to it. A wrong
+// fingerprint costs time, never correctness.
+type FingerprintFunc[S any] func(S) uint64
+
 // Protocol selects how the runtime satisfies a state dependence
 // speculatively; see the core engine's protocols.
 type Protocol = core.Protocol
@@ -130,14 +138,20 @@ type RunStats = core.Stats
 // (Figure 9). Create one with NewStateDependence, optionally attach
 // auxiliary code and state methods, Configure it, then Start and Join.
 type StateDependence[I, S, O any] struct {
-	inputs  []I
-	initial S
-	compute ComputeFunc[I, S, O]
-	aux     AuxFunc[I, S]
-	clone   CloneFunc[S]
-	match   MatchFunc[S]
-	reserve *ReserveOps[I, S]
-	opts    Options
+	inputs      []I
+	initial     S
+	compute     ComputeFunc[I, S, O]
+	aux         AuxFunc[I, S]
+	clone       CloneFunc[S]
+	match       MatchFunc[S]
+	fingerprint FingerprintFunc[S]
+	reserve     *ReserveOps[I, S]
+	opts        Options
+	// coreDep is the lowered engine dependence, built lazily and cached so
+	// repeated runs through one SDI reuse the engine's recycled run state
+	// (its sync.Pool scratch lives on the Dependence). Setters invalidate
+	// it.
+	coreDep *core.Dependence[I, S, O]
 	// sharedPool, when set by Attach, supplies the Runtime's worker pool
 	// instead of a per-run private pool; observer is the Runtime's
 	// observability sink, set alongside it.
@@ -171,6 +185,7 @@ func NewStateDependence[I, S, O any](inputs []I, initial S, compute ComputeFunc[
 // always satisfied conventionally.
 func (sd *StateDependence[I, S, O]) SetAuxiliary(aux AuxFunc[I, S]) *StateDependence[I, S, O] {
 	sd.aux = aux
+	sd.coreDep = nil
 	return sd
 }
 
@@ -182,6 +197,18 @@ func (sd *StateDependence[I, S, O]) SetStateOps(clone CloneFunc[S], match MatchF
 		sd.clone = clone
 	}
 	sd.match = match
+	sd.coreDep = nil
+	return sd
+}
+
+// SetFingerprint attaches the hash-first acceptance prefilter consulted
+// before the deep MatchFunc comparison at group boundaries (see
+// FingerprintFunc for the contract). It is ignored for dependences
+// without a MatchFunc — their speculative states are accepted by
+// construction and never compared.
+func (sd *StateDependence[I, S, O]) SetFingerprint(fp FingerprintFunc[S]) *StateDependence[I, S, O] {
+	sd.fingerprint = fp
+	sd.coreDep = nil
 	return sd
 }
 
@@ -190,6 +217,7 @@ func (sd *StateDependence[I, S, O]) SetStateOps(clone CloneFunc[S], match MatchF
 // treat the whole state as a single slot (fully serialized commits).
 func (sd *StateDependence[I, S, O]) SetReserve(r ReserveOps[I, S]) *StateDependence[I, S, O] {
 	sd.reserve = &r
+	sd.coreDep = nil
 	return sd
 }
 
@@ -246,11 +274,18 @@ func (sd *StateDependence[I, S, O]) run() ([]O, S, RunStats) {
 	return sd.dep().Run(sd.inputs, sd.initial, sd.coreOptions())
 }
 
-// dep lowers the SDI's functions to an engine dependence.
+// dep lowers the SDI's functions to an engine dependence. The result is
+// cached (setters invalidate) so every run through this SDI hits the same
+// Dependence and with it the engine's recycled run-scoped scratch state —
+// the warm, allocation-free path.
 func (sd *StateDependence[I, S, O]) dep() *core.Dependence[I, S, O] {
+	if sd.coreDep != nil {
+		return sd.coreDep
+	}
 	d := core.New(core.Compute[I, S, O](sd.compute), core.Aux[I, S](sd.aux), core.StateOps[S]{
-		Clone:    sd.clone,
-		MatchAny: sd.match,
+		Clone:       sd.clone,
+		MatchAny:    sd.match,
+		Fingerprint: sd.fingerprint,
 	})
 	if sd.reserve != nil {
 		d = d.WithReserve(core.ReserveOps[I, S]{
@@ -260,25 +295,33 @@ func (sd *StateDependence[I, S, O]) dep() *core.Dependence[I, S, O] {
 			Touched:   sd.reserve.Touched,
 		})
 	}
+	sd.coreDep = d
 	return d
 }
 
 // coreOptions lowers the configured Options plus the Runtime attachment to
 // engine options — the single SDI→engine mapping, so every run entry point
-// (Run, RunStream, StartStream, RunChecked) threads new fields identically.
+// (Run, RunStream, StartStream, RunChecked, RunAdaptive) threads new
+// fields identically.
 func (sd *StateDependence[I, S, O]) coreOptions() core.Options {
+	return sd.coreOptionsFrom(sd.opts)
+}
+
+// coreOptionsFrom lowers an explicit Options value (RunAdaptive carries
+// its own rather than the configured one).
+func (sd *StateDependence[I, S, O]) coreOptionsFrom(o Options) core.Options {
 	return core.Options{
-		UseAux:         sd.opts.UseAux,
-		Protocol:       sd.opts.Protocol,
-		FootprintCheck: sd.opts.FootprintCheck,
-		GroupSize:      sd.opts.GroupSize,
-		Window:         sd.opts.Window,
-		RedoMax:        sd.opts.RedoMax,
-		Rollback:       sd.opts.Rollback,
-		Workers:        sd.opts.Workers,
-		Seed:           sd.opts.Seed,
-		GroupTimeout:   sd.opts.GroupTimeout,
-		Breaker:        sd.opts.Breaker,
+		UseAux:         o.UseAux,
+		Protocol:       o.Protocol,
+		FootprintCheck: o.FootprintCheck,
+		GroupSize:      o.GroupSize,
+		Window:         o.Window,
+		RedoMax:        o.RedoMax,
+		Rollback:       o.Rollback,
+		Workers:        o.Workers,
+		Seed:           o.Seed,
+		GroupTimeout:   o.GroupTimeout,
+		Breaker:        o.Breaker,
 		Pool:           sd.sharedPool,
 		Obs:            sd.observer,
 	}
